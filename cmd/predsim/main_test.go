@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"cohpredict/internal/experiments"
+	"cohpredict/internal/workload"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := map[string]workload.Scale{
+		"test":    workload.ScaleTest,
+		"default": workload.ScaleDefault,
+		"full":    workload.ScaleFull,
+	}
+	for in, want := range cases {
+		got, err := parseScale(in)
+		if err != nil || got != want {
+			t.Errorf("parseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestSaveAndLoadTracesRoundTrip(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = workload.ScaleTest
+	suite, err := buildSuite(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := saveTraces(suite, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := buildSuite(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Runs) != len(suite.Runs) {
+		t.Fatalf("runs = %d, want %d", len(loaded.Runs), len(suite.Runs))
+	}
+	for i := range suite.Runs {
+		a, b := suite.Runs[i].Trace, loaded.Runs[i].Trace
+		if len(a.Events) != len(b.Events) {
+			t.Fatalf("%s: events %d vs %d",
+				suite.Runs[i].Benchmark.Name(), len(a.Events), len(b.Events))
+		}
+		for j := range a.Events {
+			if a.Events[j] != b.Events[j] {
+				t.Fatalf("%s: event %d differs", suite.Runs[i].Benchmark.Name(), j)
+			}
+		}
+	}
+	// A loaded suite must support evaluation-based artifacts.
+	if _, err := loaded.Table(7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSuiteMissingDir(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = workload.ScaleTest
+	if _, err := buildSuite(cfg, t.TempDir()); err == nil {
+		t.Fatal("empty trace dir accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Taxonomy: a tour of the paper's design space as an API. Prints the 16
+// indexing families of the global predictor (paper Table 1) with their
+// possible physical distributions, demonstrates the scheme notation
+// round-trip, and enumerates how many schemes fit under each cost budget —
+// the space the design sweep searches.
+//
+//	go run ./examples/taxonomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohpredict/internal/core"
+	"cohpredict/internal/search"
+)
+
+func main() {
+	cm := core.Machine{Nodes: 16, LineBytes: 64}
+
+	// 1. The access axis: Table 1's indexing families, derived from the
+	//    taxonomy code. pid/dir are all-or-nothing (so the global
+	//    abstraction can be distributed); pc/addr may be truncated.
+	fmt.Println("Indexing families (paper Table 1):")
+	fmt.Printf("%-4s %-20s %-12s %-10s\n", "row", "fields", "distribute", "index-bits*")
+	for row := 0; row < 16; row++ {
+		spec := core.IndexSpec{
+			UsePID: row&8 != 0, UseDir: row&2 != 0,
+		}
+		if row&4 != 0 {
+			spec.PCBits = 8
+		}
+		if row&1 != 0 {
+			spec.AddrBits = 8
+		}
+		d := spec.Distribution()
+		where := "centralized"
+		switch {
+		case d.AtProcessors && d.AtDirectory:
+			where = "proc|dir"
+		case d.AtProcessors:
+			where = "processors"
+		case d.AtDirectory:
+			where = "directories"
+		}
+		name := spec.String()
+		if name == "" {
+			name = "(none)"
+		}
+		fmt.Printf("%-4d %-20s %-12s %d\n", row, name, where, spec.Bits(cm))
+	}
+	fmt.Println("* with pc8/add8 as representative truncations")
+
+	// 2. Scheme notation round-trips; the cost model reproduces the
+	//    paper's size column.
+	fmt.Println("\nScheme notation and cost model:")
+	for _, str := range []string{
+		"last()1", "inter(pid+pc8)2[forwarded]", "union(dir+add14)4",
+		"pas(pid+add8)2", "sticky(dir+add8)1",
+	} {
+		s, err := core.ParseScheme(str)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-30s entry=%4d bits  size=2^%-2d bits  (%d entries)\n",
+			s.FullString(), s.EntryBits(cm.Nodes), s.SizeLog2(cm), s.Index.Entries(cm))
+	}
+
+	// 3. The searchable space under the paper's 2^24-bit cost cap.
+	fmt.Println("\nDesign-space size by cost cap (direct update):")
+	for _, cap := range []int{12, 16, 20, 24} {
+		sp := search.DefaultSpace(core.Direct)
+		sp.MaxSizeLog2 = cap
+		n := len(sp.Schemes(cm))
+		fmt.Printf("  ≤ 2^%-2d bits: %4d schemes\n", cap, n)
+	}
+	fmt.Println("\npredsim -table 8..11 sweeps this space and ranks the survivors.")
+}

@@ -1,0 +1,3 @@
+module cohpredict
+
+go 1.22

@@ -1,0 +1,26 @@
+// Package core implements the paper's primary contribution: the taxonomy of
+// coherence-communication prediction schemes (paper §3). A scheme is a point
+// in a three-axis space:
+//
+//   - Access (IndexSpec): which of the writer's processor id (pid), store
+//     program counter (pc, truncated), the block's home directory (dir) and
+//     block address (addr, truncated) index the global predictor table.
+//     Table 1 of the paper enumerates the 16 indexing families and where
+//     each can be physically distributed; IndexSpec.Distribution reproduces
+//     that classification.
+//
+//   - Prediction function (Function): Last (the most recent sharing
+//     bitmap), Union and Inter (OR / AND over the last Depth bitmaps), and
+//     PAs (Yeh–Patt two-level adaptive: per-node history registers
+//     indexing per-node pattern tables of 2-bit counters).
+//
+//   - Update mechanism (UpdateMode): Direct (train the current writer's
+//     entry with the invalidated-reader bitmap), Forwarded (train the
+//     previous writer's entry), Ordered (forwarded with oracle ordering —
+//     every entry sees the complete reader sets of its earlier predictions
+//     before predicting again).
+//
+// Scheme values print and parse in the paper's notation, e.g.
+// "inter(pid+pc8)2[direct]" or "union(dir+add14)4". The bit-cost model
+// (Scheme.SizeLog2) reproduces the sizes the paper reports in Tables 7–11.
+package core

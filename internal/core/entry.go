@@ -1,0 +1,143 @@
+package core
+
+import (
+	"cohpredict/internal/bitmap"
+)
+
+// HistoryEntry is the state of one last/union/inter predictor entry: a ring
+// of the most recent MaxDepth feedback bitmaps. One entry serves every
+// depth up to MaxDepth (depth-d prediction uses the d most recent bitmaps),
+// which the design-space sweep exploits to evaluate all depths in one pass.
+type HistoryEntry struct {
+	ring [MaxDepth]bitmap.Bitmap
+	pos  uint8 // next write position
+	n    uint8 // valid bitmaps stored (≤ MaxDepth)
+}
+
+// Push records a feedback bitmap, displacing the oldest if full.
+func (e *HistoryEntry) Push(b bitmap.Bitmap) {
+	e.ring[e.pos] = b
+	e.pos = (e.pos + 1) % MaxDepth
+	if e.n < MaxDepth {
+		e.n++
+	}
+}
+
+// Len returns the number of bitmaps stored.
+func (e *HistoryEntry) Len() int { return int(e.n) }
+
+// Recent returns the i-th most recent bitmap (0 = newest). It panics if
+// i >= Len.
+func (e *HistoryEntry) Recent(i int) bitmap.Bitmap {
+	if i >= int(e.n) {
+		panic("core: history index out of range")
+	}
+	return e.ring[(int(e.pos)-1-i+2*MaxDepth)%MaxDepth]
+}
+
+// Last predicts the most recent bitmap (empty if none stored).
+func (e *HistoryEntry) Last() bitmap.Bitmap {
+	if e.n == 0 {
+		return bitmap.Empty
+	}
+	return e.Recent(0)
+}
+
+// Union predicts the OR of the depth most recent bitmaps (fewer if fewer
+// are stored; empty if none).
+func (e *HistoryEntry) Union(depth int) bitmap.Bitmap {
+	var u bitmap.Bitmap
+	for i := 0; i < depth && i < int(e.n); i++ {
+		u = u.Union(e.Recent(i))
+	}
+	return u
+}
+
+// Inter predicts the AND of the depth most recent bitmaps (fewer if fewer
+// are stored; empty if none). An underfilled entry intersects only what it
+// holds: the scheme speculates once it has any history, becoming more
+// selective as history accumulates.
+func (e *HistoryEntry) Inter(depth int) bitmap.Bitmap {
+	if e.n == 0 {
+		return bitmap.Empty
+	}
+	u := e.Recent(0)
+	for i := 1; i < depth && i < int(e.n); i++ {
+		u = u.Intersect(e.Recent(i))
+	}
+	return u
+}
+
+// Predict applies fn at the given depth.
+func (e *HistoryEntry) Predict(fn Function, depth int) bitmap.Bitmap {
+	switch fn {
+	case Last:
+		return e.Last()
+	case Union:
+		return e.Union(depth)
+	case Inter:
+		return e.Inter(depth)
+	default:
+		panic("core: HistoryEntry cannot serve " + fn.String())
+	}
+}
+
+// PASEntry is the state of one two-level adaptive (PAs) predictor entry:
+// for each of the machine's nodes, a history register of depth bits
+// recording the node's recent sharing outcomes under this index, and a
+// pattern table of 2^depth two-bit saturating counters. A node is predicted
+// to share when its current pattern's counter is in the upper half.
+//
+// Counters start at 0 (strongly not-sharing): with sharing prevalence an
+// order of magnitude below branch-taken rates (paper §5.3), the
+// bias-towards-negative initialisation is the sensible default.
+type PASEntry struct {
+	depth   uint8
+	nodes   uint8
+	hist    []uint8 // per-node history register (depth bits)
+	counter []uint8 // nodes × 2^depth two-bit counters
+}
+
+// NewPASEntry returns an empty PAs entry for the given machine size and
+// history depth.
+func NewPASEntry(nodes, depth int) *PASEntry {
+	return &PASEntry{
+		depth:   uint8(depth),
+		nodes:   uint8(nodes),
+		hist:    make([]uint8, nodes),
+		counter: make([]uint8, nodes<<uint(depth)),
+	}
+}
+
+// Predict returns the aggregate bitmap of per-node binary predictions.
+func (e *PASEntry) Predict() bitmap.Bitmap {
+	var b bitmap.Bitmap
+	size := 1 << e.depth
+	for n := 0; n < int(e.nodes); n++ {
+		if e.counter[n*size+int(e.hist[n])] >= 2 {
+			b = b.Set(n)
+		}
+	}
+	return b
+}
+
+// Train updates every node's counter and history register with its bit of
+// the feedback bitmap.
+func (e *PASEntry) Train(feedback bitmap.Bitmap) {
+	size := 1 << e.depth
+	mask := uint8(size - 1)
+	for n := 0; n < int(e.nodes); n++ {
+		idx := n*size + int(e.hist[n])
+		if feedback.Has(n) {
+			if e.counter[idx] < 3 {
+				e.counter[idx]++
+			}
+			e.hist[n] = ((e.hist[n] << 1) | 1) & mask
+		} else {
+			if e.counter[idx] > 0 {
+				e.counter[idx]--
+			}
+			e.hist[n] = (e.hist[n] << 1) & mask
+		}
+	}
+}

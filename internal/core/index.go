@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// IndexSpec selects the fields that index the global predictor (the
+// taxonomy's "access" axis, paper §3.1). Following the paper, pid and dir
+// are used in full or not at all (so the global abstraction can be
+// distributed to the processors or directories), while pc and addr may be
+// truncated to any number of low-order bits.
+type IndexSpec struct {
+	UsePID   bool
+	PCBits   int
+	UseDir   bool
+	AddrBits int
+}
+
+// Machine carries the two machine properties indexing depends on: the node
+// count (pid/dir width) and the line size (which low address bits are
+// block offset, not block identity).
+type Machine struct {
+	Nodes     int
+	LineBytes int
+}
+
+// NodeBits returns the number of bits a full pid or dir field occupies.
+func (m Machine) NodeBits() int {
+	if m.Nodes <= 1 {
+		return 0
+	}
+	return bits.Len(uint(m.Nodes - 1))
+}
+
+// lineShift returns log2 of the line size.
+func (m Machine) lineShift() uint { return uint(bits.Len(uint(m.LineBytes)) - 1) }
+
+// Bits returns the total number of index bits the spec uses on machine m.
+func (s IndexSpec) Bits(m Machine) int {
+	n := s.PCBits + s.AddrBits
+	if s.UsePID {
+		n += m.NodeBits()
+	}
+	if s.UseDir {
+		n += m.NodeBits()
+	}
+	return n
+}
+
+// Entries returns the number of predictor entries the spec addresses.
+func (s IndexSpec) Entries(m Machine) uint64 { return 1 << uint(s.Bits(m)) }
+
+// Key packs the event fields into a predictor index. Layout, low to high:
+// addr bits (of the block number), pc bits, dir, pid. addr is a byte
+// address; its block-offset bits are discarded first.
+func (s IndexSpec) Key(pid int, pc uint64, dir int, addr uint64, m Machine) uint64 {
+	var key uint64
+	shift := uint(0)
+	if s.AddrBits > 0 {
+		block := addr >> m.lineShift()
+		key |= (block & (1<<uint(s.AddrBits) - 1)) << shift
+		shift += uint(s.AddrBits)
+	}
+	if s.PCBits > 0 {
+		key |= (pc & (1<<uint(s.PCBits) - 1)) << shift
+		shift += uint(s.PCBits)
+	}
+	nb := uint(m.NodeBits())
+	if s.UseDir {
+		key |= uint64(dir) << shift
+		shift += nb
+	}
+	if s.UsePID {
+		key |= uint64(pid) << shift
+	}
+	return key
+}
+
+// Distribution describes where a physical implementation of the indexing
+// family can live (the paper's Table 1 columns).
+type Distribution struct {
+	AtProcessors bool // can be split across the processors (pid in index)
+	AtDirectory  bool // can be split across the directories (dir in index)
+	Centralized  bool // neither pid nor dir: must be centralized
+}
+
+// Distribution classifies the spec per the paper's Table 1.
+func (s IndexSpec) Distribution() Distribution {
+	return Distribution{
+		AtProcessors: s.UsePID,
+		AtDirectory:  s.UseDir,
+		Centralized:  !s.UsePID && !s.UseDir,
+	}
+}
+
+// TableRow returns the paper's Table 1 row number for the family this spec
+// belongs to (pid, pc, dir, addr presence interpreted as a 4-bit number in
+// the paper's column order).
+func (s IndexSpec) TableRow() int {
+	row := 0
+	if s.UsePID {
+		row |= 8
+	}
+	if s.PCBits > 0 {
+		row |= 4
+	}
+	if s.UseDir {
+		row |= 2
+	}
+	if s.AddrBits > 0 {
+		row |= 1
+	}
+	return row
+}
+
+// String renders the spec in the paper's notation: fields joined by "+" in
+// pid, pc, dir, addr order, with bit counts on pc and addr (e.g.
+// "pid+pc8+dir+add6"). The empty spec renders as "".
+func (s IndexSpec) String() string {
+	var parts []string
+	if s.UsePID {
+		parts = append(parts, "pid")
+	}
+	if s.PCBits > 0 {
+		parts = append(parts, fmt.Sprintf("pc%d", s.PCBits))
+	}
+	if s.UseDir {
+		parts = append(parts, "dir")
+	}
+	if s.AddrBits > 0 {
+		parts = append(parts, fmt.Sprintf("add%d", s.AddrBits))
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseIndexSpec parses the notation produced by String. It also accepts
+// the "mem" alias for "add" that the paper uses when describing Lai and
+// Falsafi's scheme.
+func ParseIndexSpec(s string) (IndexSpec, error) {
+	var spec IndexSpec
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "pid":
+			if spec.UsePID {
+				return spec, fmt.Errorf("core: duplicate pid in index %q", s)
+			}
+			spec.UsePID = true
+		case part == "dir":
+			if spec.UseDir {
+				return spec, fmt.Errorf("core: duplicate dir in index %q", s)
+			}
+			spec.UseDir = true
+		case strings.HasPrefix(part, "pc"):
+			if _, err := fmt.Sscanf(part, "pc%d", &spec.PCBits); err != nil || spec.PCBits <= 0 {
+				return spec, fmt.Errorf("core: bad pc field %q in index %q", part, s)
+			}
+		case strings.HasPrefix(part, "add") || strings.HasPrefix(part, "mem"):
+			if _, err := fmt.Sscanf(part[3:], "%d", &spec.AddrBits); err != nil || spec.AddrBits <= 0 {
+				return spec, fmt.Errorf("core: bad addr field %q in index %q", part, s)
+			}
+		default:
+			return spec, fmt.Errorf("core: unknown index field %q in index %q", part, s)
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"cohpredict/internal/bitmap"
+)
+
+// Sticky-spatial prediction. The paper's footnote 2 excludes Bilir et
+// al.'s Sticky-Spatial scheme from its simulations "but our work can be
+// expanded to include such schemes" — this file is that expansion. The
+// scheme differs from the history functions in two ways:
+//
+//   - Sticky state: each entry keeps a mask that accumulates observed
+//     readers; a reader bit is only dropped after it misses StickyStrikes
+//     consecutive feedbacks (a per-node 2-bit strike counter), so
+//     occasional pattern wobble does not evict established consumers.
+//
+//   - Spatial prediction: the prediction for a block ORs the masks of the
+//     spatially adjacent blocks (addr ± 1 within the index's addr field),
+//     exploiting the spatial regularity of scientific codes: a block's
+//     readers usually also read its neighbours.
+//
+// Sticky schemes print as sticky(index)1; the index must include addr bits
+// (the spatial neighbourhood is defined by the addr field).
+
+// StickyStrikes is the number of consecutive no-read feedbacks after which
+// a sticky reader bit is dropped.
+const StickyStrikes = 2
+
+// StickyEntry is the per-entry state of the sticky-spatial predictor.
+type StickyEntry struct {
+	mask    bitmap.Bitmap
+	strikes [bitmap.MaxNodes]uint8
+	trained bool
+}
+
+// Mask returns the entry's current sticky reader mask.
+func (e *StickyEntry) Mask() bitmap.Bitmap { return e.mask }
+
+// Trained reports whether the entry has received any feedback.
+func (e *StickyEntry) Trained() bool { return e.trained }
+
+// Train folds a feedback bitmap into the sticky mask: observed readers
+// join immediately (and reset their strikes); absent readers accumulate
+// strikes and are dropped at StickyStrikes.
+func (e *StickyEntry) Train(feedback bitmap.Bitmap, nodes int) {
+	e.trained = true
+	for n := 0; n < nodes; n++ {
+		switch {
+		case feedback.Has(n):
+			e.mask = e.mask.Set(n)
+			e.strikes[n] = 0
+		case e.mask.Has(n):
+			e.strikes[n]++
+			if e.strikes[n] >= StickyStrikes {
+				e.mask = e.mask.Clear(n)
+				e.strikes[n] = 0
+			}
+		}
+	}
+}
+
+// stickyTable implements Table for sticky-spatial schemes. Because the
+// addr field occupies the low bits of every key (see IndexSpec.Key), the
+// spatial neighbours of a key are computable without the original address.
+type stickyTable struct {
+	nodes    int
+	addrBits int
+	entries  map[uint64]*StickyEntry
+}
+
+func newStickyTable(s Scheme, m Machine) *stickyTable {
+	return &stickyTable{
+		nodes:    m.Nodes,
+		addrBits: s.Index.AddrBits,
+		entries:  make(map[uint64]*StickyEntry),
+	}
+}
+
+// neighbours returns the keys of the spatially adjacent blocks (addr ± 1
+// within the addr field, wrapping at the field boundary).
+func (t *stickyTable) neighbours(key uint64) (down, up uint64) {
+	low := uint64(1)<<uint(t.addrBits) - 1
+	a := key & low
+	high := key &^ low
+	return high | ((a - 1) & low), high | ((a + 1) & low)
+}
+
+func (t *stickyTable) Predict(key uint64) bitmap.Bitmap {
+	var b bitmap.Bitmap
+	if e := t.entries[key]; e != nil {
+		b = b.Union(e.Mask())
+	}
+	down, up := t.neighbours(key)
+	if e := t.entries[down]; e != nil {
+		b = b.Union(e.Mask())
+	}
+	if e := t.entries[up]; e != nil {
+		b = b.Union(e.Mask())
+	}
+	return b
+}
+
+func (t *stickyTable) Train(key uint64, feedback bitmap.Bitmap) {
+	e := t.entries[key]
+	if e == nil {
+		e = &StickyEntry{}
+		t.entries[key] = e
+	}
+	e.Train(feedback, t.nodes)
+}
+
+func (t *stickyTable) Entries() int { return len(t.entries) }

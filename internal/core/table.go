@@ -1,0 +1,92 @@
+package core
+
+import (
+	"cohpredict/internal/bitmap"
+)
+
+// Table is the state of one predictor: a keyed collection of entries with a
+// predict and a train operation. The update mechanism (which key gets
+// trained, and when) lives outside, in the evaluation engine — exactly the
+// separation the taxonomy draws between prediction function and update.
+type Table interface {
+	// Predict returns the entry's prediction for the given index key.
+	// Untrained entries predict the empty bitmap (no forwarding).
+	Predict(key uint64) bitmap.Bitmap
+	// Train feeds a true sharing bitmap into the entry for key.
+	Train(key uint64, feedback bitmap.Bitmap)
+	// Entries returns the number of allocated (touched) entries, for
+	// occupancy statistics.
+	Entries() int
+}
+
+// NewTable returns an empty predictor table for the scheme on machine m.
+// It panics if the scheme is invalid (a construction-time error).
+func NewTable(s Scheme, m Machine) Table {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	switch s.Fn {
+	case PAs:
+		return &pasTable{nodes: m.Nodes, depth: s.Depth, entries: make(map[uint64]*PASEntry)}
+	case Sticky:
+		return newStickyTable(s, m)
+	default:
+		return &historyTable{fn: s.Fn, depth: s.Depth, entries: make(map[uint64]*HistoryEntry)}
+	}
+}
+
+// historyTable backs last/union/inter schemes. Entries are allocated
+// lazily: a hardware table has all entries from the start, but an untouched
+// entry holds no history and predicts nothing, so lazy allocation is
+// behaviourally identical and lets one process host thousands of tables
+// during design-space sweeps.
+type historyTable struct {
+	fn      Function
+	depth   int
+	entries map[uint64]*HistoryEntry
+}
+
+func (t *historyTable) Predict(key uint64) bitmap.Bitmap {
+	e, ok := t.entries[key]
+	if !ok {
+		return bitmap.Empty
+	}
+	return e.Predict(t.fn, t.depth)
+}
+
+func (t *historyTable) Train(key uint64, feedback bitmap.Bitmap) {
+	e, ok := t.entries[key]
+	if !ok {
+		e = &HistoryEntry{}
+		t.entries[key] = e
+	}
+	e.Push(feedback)
+}
+
+func (t *historyTable) Entries() int { return len(t.entries) }
+
+// pasTable backs PAs schemes.
+type pasTable struct {
+	nodes   int
+	depth   int
+	entries map[uint64]*PASEntry
+}
+
+func (t *pasTable) Predict(key uint64) bitmap.Bitmap {
+	e, ok := t.entries[key]
+	if !ok {
+		return bitmap.Empty
+	}
+	return e.Predict()
+}
+
+func (t *pasTable) Train(key uint64, feedback bitmap.Bitmap) {
+	e, ok := t.entries[key]
+	if !ok {
+		e = NewPASEntry(t.nodes, t.depth)
+		t.entries[key] = e
+	}
+	e.Train(feedback)
+}
+
+func (t *pasTable) Entries() int { return len(t.entries) }

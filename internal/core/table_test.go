@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"cohpredict/internal/bitmap"
+)
+
+func TestHistoryTable(t *testing.T) {
+	tab := NewTable(Scheme{Fn: Inter, Depth: 2, Index: IndexSpec{PCBits: 8}}, m16)
+	if !tab.Predict(5).IsEmpty() {
+		t.Fatal("cold table predicts sharing")
+	}
+	tab.Train(5, bitmap.New(1, 2))
+	tab.Train(5, bitmap.New(2, 3))
+	if got := tab.Predict(5); got != bitmap.New(2) {
+		t.Fatalf("Predict = %v", got)
+	}
+	if !tab.Predict(6).IsEmpty() {
+		t.Fatal("keys bleed")
+	}
+	if tab.Entries() != 1 {
+		t.Fatalf("Entries = %d", tab.Entries())
+	}
+}
+
+func TestPASTable(t *testing.T) {
+	tab := NewTable(Scheme{Fn: PAs, Depth: 2, Index: IndexSpec{PCBits: 4}}, m16)
+	for i := 0; i < 8; i++ {
+		tab.Train(3, bitmap.New(9))
+	}
+	if got := tab.Predict(3); got != bitmap.New(9) {
+		t.Fatalf("PAs table Predict = %v", got)
+	}
+	if !tab.Predict(4).IsEmpty() {
+		t.Fatal("PAs keys bleed")
+	}
+	if tab.Entries() != 1 {
+		t.Fatalf("Entries = %d", tab.Entries())
+	}
+}
+
+func TestNewTablePanicsOnInvalidScheme(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid scheme accepted")
+		}
+	}()
+	NewTable(Scheme{Fn: Inter, Depth: 9}, m16)
+}
+
+func TestLastTableEqualsDepth1(t *testing.T) {
+	last := NewTable(Scheme{Fn: Last, Depth: 1}, m16)
+	union := NewTable(Scheme{Fn: Union, Depth: 1}, m16)
+	inter := NewTable(Scheme{Fn: Inter, Depth: 1}, m16)
+	seq := []bitmap.Bitmap{bitmap.New(1), bitmap.New(2, 3), bitmap.Empty, bitmap.New(4)}
+	for _, b := range seq {
+		last.Train(0, b)
+		union.Train(0, b)
+		inter.Train(0, b)
+		if last.Predict(0) != union.Predict(0) || last.Predict(0) != inter.Predict(0) {
+			t.Fatal("depth-1 last/union/inter diverged")
+		}
+	}
+}

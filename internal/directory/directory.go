@@ -1,0 +1,272 @@
+// Package directory implements the full-map invalidation directory of the
+// simulated distributed shared-memory machine (the Dir_N NB family of
+// Agarwal et al. that the paper assumes). Besides keeping caches coherent,
+// the directory is the observation point for sharing prediction: it tracks,
+// for every cache block, the current write epoch — who owns it, and which
+// nodes have truly read it since it last became exclusive — and emits one
+// trace.Event per exclusive-ownership transition.
+//
+// True-reader tracking models the paper's access-bit mechanism: only nodes
+// that actually loaded the block during the epoch count as readers, so the
+// feedback bitmaps are never polluted by speculative forwards.
+package directory
+
+import (
+	"fmt"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/trace"
+)
+
+// noEvent marks a block epoch that was opened before any write (cold reads).
+const noEvent = -1
+
+// blockState is the directory entry for one cache block.
+type blockState struct {
+	// hasOwner reports whether the current epoch has an exclusive owner.
+	hasOwner bool
+	// owner and ownerPC identify the store that opened the epoch.
+	owner   int
+	ownerPC uint64
+	// readers is the set of nodes that loaded the block during the
+	// current epoch (true readers; the owner's own loads hit locally and
+	// are not sharing).
+	readers bitmap.Bitmap
+	// sharers is the set of nodes the directory believes cache the block
+	// (readers plus the owner); it drives invalidations.
+	sharers bitmap.Bitmap
+	// openEvent indexes the trace event that opened this epoch, so its
+	// FutureReaders can be resolved when the epoch closes.
+	openEvent int
+	// home is the block's directory node, assigned on first touch.
+	home int
+}
+
+// Stats aggregates directory activity counters.
+type Stats struct {
+	ReadMisses    uint64 // loads that reached the directory
+	WriteEvents   uint64 // exclusive-ownership transitions (prediction events)
+	Invalidations uint64 // individual cache invalidation messages sent
+	Writebacks    uint64 // dirty evictions returned to the home
+	BlocksTouched uint64 // distinct blocks with directory state
+	Broadcasts    uint64 // limited-pointer overflows serviced by broadcast
+	// ExclusiveGrants counts MESI exclusive read grants (see mesi.go).
+	ExclusiveGrants uint64
+}
+
+// Directory is the (logically centralised, physically distributed) full-map
+// directory. Addresses passed in must already be line-aligned.
+type Directory struct {
+	nodes  int
+	blocks map[uint64]*blockState
+	events []trace.Event
+	stats  Stats
+
+	// mode and pointers select the directory organisation (see
+	// limited.go); the zero values mean full-map.
+	mode     Mode
+	pointers int
+
+	// homePolicy assigns a home node on first touch.
+	homePolicy func(addr uint64, firstToucher int) int
+
+	// eventHook, if set, observes each prediction event as it is
+	// emitted. The event's FutureReaders are NOT yet resolved at that
+	// point — the hook sees exactly what online hardware would see.
+	eventHook func(trace.Event)
+}
+
+// New returns a directory for an n-node machine using first-touch home
+// assignment (the paper's data-placement policy: "RSIM ... uses a
+// first-touch policy on a cache-line granularity").
+func New(nodes int) *Directory {
+	if nodes <= 0 || nodes > bitmap.MaxNodes {
+		panic(fmt.Sprintf("directory: node count %d out of range", nodes))
+	}
+	return &Directory{
+		nodes:      nodes,
+		blocks:     make(map[uint64]*blockState),
+		homePolicy: func(_ uint64, firstToucher int) int { return firstToucher },
+	}
+}
+
+// SetHomePolicy overrides first-touch placement, e.g. with round-robin
+// interleaving: d.SetHomePolicy(func(addr uint64, _ int) int {
+// return int(addr/64) % nodes }). Must be called before any access.
+func (d *Directory) SetHomePolicy(p func(addr uint64, firstToucher int) int) {
+	if len(d.blocks) != 0 {
+		panic("directory: SetHomePolicy after accesses began")
+	}
+	d.homePolicy = p
+}
+
+// Nodes returns the machine size.
+func (d *Directory) Nodes() int { return d.nodes }
+
+// SetEventHook registers an observer called with each prediction event at
+// emission time (before its FutureReaders resolve), the vantage point an
+// online forwarding protocol has.
+func (d *Directory) SetEventHook(f func(trace.Event)) { d.eventHook = f }
+
+// Stats returns a copy of the activity counters.
+func (d *Directory) Stats() Stats {
+	s := d.stats
+	if d.blocks != nil {
+		s.BlocksTouched = uint64(len(d.blocks))
+	}
+	return s
+}
+
+func (d *Directory) lookup(addr uint64, pid int) *blockState {
+	st, ok := d.blocks[addr]
+	if !ok {
+		st = &blockState{
+			hasOwner:  false,
+			owner:     -1,
+			openEvent: noEvent,
+			home:      d.homePolicy(addr, pid),
+		}
+		d.blocks[addr] = st
+	}
+	return st
+}
+
+// Home returns the block's home node, assigning it by policy if the block
+// is new (pid is the first toucher).
+func (d *Directory) Home(addr uint64, pid int) int { return d.lookup(addr, pid).home }
+
+// Read registers a load by pid that missed in its caches. It returns the
+// node whose cache must downgrade a Modified copy (-1 if none).
+func (d *Directory) Read(pid int, addr uint64) (downgrade int) {
+	st := d.lookup(addr, pid)
+	d.stats.ReadMisses++
+	downgrade = -1
+	if st.hasOwner && st.owner != pid && st.sharers.Has(st.owner) && st.readers.IsEmpty() {
+		// Owner still holds the line Modified: no reader has forced a
+		// downgrade yet this epoch (the first reader does).
+		downgrade = st.owner
+	}
+	if !st.hasOwner || st.owner != pid {
+		st.readers = st.readers.Set(pid)
+	}
+	st.sharers = st.sharers.Set(pid)
+	return downgrade
+}
+
+// Write registers a store by pid (identified by static store pc) that needs
+// exclusive ownership. It closes the block's current epoch, emits a
+// prediction event, opens the new epoch, and returns the nodes whose cached
+// copies must be invalidated (never including pid).
+func (d *Directory) Write(pid int, pc uint64, addr uint64) (invalidate []int) {
+	st := d.lookup(addr, pid)
+	d.stats.WriteEvents++
+
+	// True readers of the closing epoch, excluding that epoch's writer:
+	// the prediction target is "nodes that will read newly created
+	// data", so feedback uses the same definition.
+	inv := st.readers
+	if st.hasOwner {
+		inv = inv.Clear(st.owner)
+	}
+
+	// Resolve the ground truth of the event that opened the closing
+	// epoch: its future readers are exactly the readers we now
+	// invalidate.
+	if st.openEvent != noEvent {
+		d.events[st.openEvent].FutureReaders = inv
+	}
+
+	ev := trace.Event{
+		PID:        pid,
+		PC:         pc,
+		Dir:        st.home,
+		Addr:       addr,
+		InvReaders: inv,
+		HasPrev:    st.hasOwner,
+	}
+	if st.hasOwner {
+		ev.PrevPID = st.owner
+		ev.PrevPC = st.ownerPC
+	}
+	d.events = append(d.events, ev)
+	if d.eventHook != nil {
+		d.eventHook(ev)
+	}
+
+	// Invalidate every cached copy except the new owner's. The sharer
+	// bitmap includes the previous owner unless it wrote the line back;
+	// a limited-pointer directory that overflowed must broadcast.
+	invalidate = d.invalidationTargets(st, pid).Nodes()
+	d.stats.Invalidations += uint64(len(invalidate))
+
+	// Open the new epoch.
+	st.hasOwner = true
+	st.owner = pid
+	st.ownerPC = pc
+	st.readers = bitmap.Empty
+	st.sharers = bitmap.New(pid)
+	st.openEvent = len(d.events) - 1
+	return invalidate
+}
+
+// Writeback registers a dirty L2 eviction by pid. Ownership of the block
+// returns to the home memory; the epoch stays open (future readers keep
+// accumulating until the next write).
+func (d *Directory) Writeback(pid int, addr uint64) {
+	st, ok := d.blocks[addr]
+	if !ok {
+		return
+	}
+	d.stats.Writebacks++
+	st.sharers = st.sharers.Clear(pid)
+	// The epoch's writer identity is retained for forwarded-update
+	// attribution even though the cached copy is gone.
+}
+
+// Evict registers a clean eviction notification. Real DSM protocols often
+// keep these silent; the machine model does too by default, but tests use
+// Evict to exercise stale-sharer behaviour.
+func (d *Directory) Evict(pid int, addr uint64) {
+	if st, ok := d.blocks[addr]; ok {
+		st.sharers = st.sharers.Clear(pid)
+	}
+}
+
+// Finish resolves the ground truth of all still-open epochs (their readers
+// so far become the final FutureReaders) and returns the completed trace.
+// The directory must not be used after Finish (statistics remain readable).
+func (d *Directory) Finish() *trace.Trace {
+	d.stats.BlocksTouched = uint64(len(d.blocks))
+	for _, st := range d.blocks {
+		if st.openEvent == noEvent {
+			continue
+		}
+		inv := st.readers
+		if st.hasOwner {
+			inv = inv.Clear(st.owner)
+		}
+		d.events[st.openEvent].FutureReaders = inv
+	}
+	t := &trace.Trace{Nodes: d.nodes, Events: d.events}
+	d.events = nil
+	d.blocks = nil
+	return t
+}
+
+// SharersOf returns the directory's current sharer view of a block, for
+// tests and debugging.
+func (d *Directory) SharersOf(addr uint64) bitmap.Bitmap {
+	if st, ok := d.blocks[addr]; ok {
+		return st.sharers
+	}
+	return bitmap.Empty
+}
+
+// ReadersOf returns the true readers recorded for the block's current
+// epoch, for tests and debugging.
+func (d *Directory) ReadersOf(addr uint64) bitmap.Bitmap {
+	if st, ok := d.blocks[addr]; ok {
+		return st.readers
+	}
+	return bitmap.Empty
+}

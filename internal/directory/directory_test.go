@@ -1,0 +1,244 @@
+package directory
+
+import (
+	"testing"
+
+	"cohpredict/internal/bitmap"
+)
+
+const line = 64
+
+func TestFirstTouchHome(t *testing.T) {
+	d := New(16)
+	if got := d.Home(0x1000, 5); got != 5 {
+		t.Fatalf("Home = %d, want first toucher 5", got)
+	}
+	// Home is sticky regardless of later touchers.
+	if got := d.Home(0x1000, 9); got != 5 {
+		t.Fatalf("Home changed to %d", got)
+	}
+}
+
+func TestHomePolicyOverride(t *testing.T) {
+	d := New(4)
+	d.SetHomePolicy(func(addr uint64, _ int) int { return int(addr/line) % 4 })
+	if got := d.Home(3*line, 0); got != 3 {
+		t.Fatalf("Home = %d, want 3", got)
+	}
+}
+
+func TestSetHomePolicyAfterAccessPanics(t *testing.T) {
+	d := New(4)
+	d.Read(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late SetHomePolicy did not panic")
+		}
+	}()
+	d.SetHomePolicy(func(uint64, int) int { return 0 })
+}
+
+func TestWriteEventSequence(t *testing.T) {
+	d := New(16)
+	// Node 0 writes block, nodes 1 and 2 read it, node 3 writes.
+	if inv := d.Write(0, 100, 0); len(inv) != 0 {
+		t.Fatalf("cold write invalidates %v", inv)
+	}
+	if down := d.Read(1, 0); down != 0 {
+		t.Fatalf("first reader should downgrade owner 0, got %d", down)
+	}
+	if down := d.Read(2, 0); down != -1 {
+		t.Fatalf("second reader downgrade = %d, want -1", down)
+	}
+	inv := d.Write(3, 200, 0)
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(inv) != 3 {
+		t.Fatalf("invalidate = %v", inv)
+	}
+	for _, n := range inv {
+		if !want[n] {
+			t.Fatalf("unexpected victim %d", n)
+		}
+	}
+	tr := d.Finish()
+	if len(tr.Events) != 2 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	e0, e1 := tr.Events[0], tr.Events[1]
+	// First event: cold write by 0, no previous writer.
+	if e0.PID != 0 || e0.HasPrev || !e0.InvReaders.IsEmpty() {
+		t.Fatalf("event 0 = %+v", e0)
+	}
+	// Its future readers are nodes 1,2 (owner 0 excluded by definition).
+	if e0.FutureReaders != bitmap.New(1, 2) {
+		t.Fatalf("event 0 future readers = %v", e0.FutureReaders)
+	}
+	// Second event: writer 3 invalidating readers {1,2} of writer 0.
+	if e1.PID != 3 || !e1.HasPrev || e1.PrevPID != 0 || e1.PrevPC != 100 {
+		t.Fatalf("event 1 = %+v", e1)
+	}
+	if e1.InvReaders != bitmap.New(1, 2) {
+		t.Fatalf("event 1 inv readers = %v", e1.InvReaders)
+	}
+	// Epoch still open at Finish: no readers after event 1.
+	if !e1.FutureReaders.IsEmpty() {
+		t.Fatalf("event 1 future readers = %v", e1.FutureReaders)
+	}
+}
+
+func TestInvReadersEqualsOpenersFutureReaders(t *testing.T) {
+	d := New(8)
+	d.Write(0, 1, 0)
+	d.Read(3, 0)
+	d.Write(1, 2, 0)
+	d.Read(4, 0)
+	d.Read(5, 0)
+	d.Write(2, 3, 0)
+	tr := d.Finish()
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	for i := 0; i+1 < len(tr.Events); i++ {
+		if tr.Events[i].FutureReaders != tr.Events[i+1].InvReaders {
+			t.Errorf("event %d future %v != event %d inv %v",
+				i, tr.Events[i].FutureReaders, i+1, tr.Events[i+1].InvReaders)
+		}
+	}
+}
+
+func TestOwnerNotCountedAsReader(t *testing.T) {
+	d := New(8)
+	d.Write(0, 1, 0)
+	// Owner re-reads its own block after a writeback.
+	d.Writeback(0, 0)
+	d.Read(0, 0)
+	d.Read(2, 0)
+	d.Write(1, 2, 0)
+	tr := d.Finish()
+	// InvReaders of the closing event must exclude the epoch's writer 0
+	// even though it technically re-read.
+	if got := tr.Events[1].InvReaders; got != bitmap.New(2) {
+		t.Fatalf("InvReaders = %v, want {2}", got)
+	}
+}
+
+func TestColdReadsThenWrite(t *testing.T) {
+	d := New(8)
+	d.Read(1, 0)
+	d.Read(2, 0)
+	inv := d.Write(3, 9, 0)
+	if len(inv) != 2 {
+		t.Fatalf("invalidate = %v", inv)
+	}
+	tr := d.Finish()
+	e := tr.Events[0]
+	if e.HasPrev {
+		t.Fatal("cold epoch reported a previous writer")
+	}
+	if e.InvReaders != bitmap.New(1, 2) {
+		t.Fatalf("InvReaders = %v", e.InvReaders)
+	}
+}
+
+func TestSameWriterReinvalidatesOwnReaders(t *testing.T) {
+	d := New(8)
+	d.Write(0, 7, 0)
+	d.Read(1, 0)
+	inv := d.Write(0, 7, 0) // same writer upgrades again
+	if len(inv) != 1 || inv[0] != 1 {
+		t.Fatalf("invalidate = %v", inv)
+	}
+	tr := d.Finish()
+	e := tr.Events[1]
+	if !e.HasPrev || e.PrevPID != 0 {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.InvReaders != bitmap.New(1) {
+		t.Fatalf("InvReaders = %v", e.InvReaders)
+	}
+}
+
+func TestWritebackClearsSharer(t *testing.T) {
+	d := New(8)
+	d.Write(0, 1, 0)
+	if got := d.SharersOf(0); got != bitmap.New(0) {
+		t.Fatalf("sharers = %v", got)
+	}
+	d.Writeback(0, 0)
+	if got := d.SharersOf(0); !got.IsEmpty() {
+		t.Fatalf("sharers after writeback = %v", got)
+	}
+	// Next writer invalidates nobody but still knows the previous
+	// writer for forwarded update.
+	inv := d.Write(1, 2, 0)
+	if len(inv) != 0 {
+		t.Fatalf("invalidate = %v", inv)
+	}
+	tr := d.Finish()
+	if e := tr.Events[1]; !e.HasPrev || e.PrevPID != 0 {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestEvictKeepsReaderHistory(t *testing.T) {
+	d := New(8)
+	d.Write(0, 1, 0)
+	d.Read(3, 0)
+	d.Evict(3, 0) // clean eviction notification
+	inv := d.Write(1, 2, 0)
+	if len(inv) != 1 || inv[0] != 0 {
+		t.Fatalf("invalidate = %v (victim should be just the owner)", inv)
+	}
+	tr := d.Finish()
+	// Node 3 truly read during the epoch: it stays in the feedback even
+	// though its copy was evicted (access-bit semantics).
+	if got := tr.Events[1].InvReaders; got != bitmap.New(3) {
+		t.Fatalf("InvReaders = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New(8)
+	d.Write(0, 1, 0)
+	d.Read(1, 0)
+	d.Read(2, line)
+	d.Write(1, 2, 0)
+	d.Writeback(1, 0)
+	st := d.Stats()
+	if st.WriteEvents != 2 || st.ReadMisses != 2 || st.Writebacks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BlocksTouched != 2 {
+		t.Fatalf("BlocksTouched = %d", st.BlocksTouched)
+	}
+	tr := d.Finish()
+	if d.Stats().BlocksTouched != 2 {
+		t.Fatal("BlocksTouched lost after Finish")
+	}
+	if tr.Nodes != 8 {
+		t.Fatalf("trace nodes = %d", tr.Nodes)
+	}
+}
+
+func TestDirFieldIsHome(t *testing.T) {
+	d := New(16)
+	d.Read(7, 0x2000) // first touch by 7 → home 7
+	d.Write(3, 1, 0x2000)
+	tr := d.Finish()
+	if tr.Events[0].Dir != 7 {
+		t.Fatalf("Dir = %d, want 7", tr.Events[0].Dir)
+	}
+}
+
+func TestNewPanicsOnBadNodeCount(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}

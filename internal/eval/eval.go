@@ -1,0 +1,160 @@
+// Package eval drives prediction schemes over coherence-event traces,
+// applying the taxonomy's update mechanisms with their exact timing
+// semantics (paper §3.4):
+//
+//   - direct: at each event, the invalidated-reader bitmap trains the
+//     current writer's entry before the prediction is read, so the freshest
+//     block history is always available (and every depth-1 last scheme
+//     degenerates to the zero-cost baseline, as in the paper's Table 7);
+//   - forwarded: the invalidated readers train the previous writer's entry
+//     (identified by the last-writer pid/pc the directory records per
+//     block); the Figure 4 lateness hazard arises naturally from trace
+//     order;
+//   - ordered: an oracle — the prediction is read first, then the event's
+//     own resolved future readers train the current entry, so every entry
+//     sees the complete reader sets of all its earlier predictions.
+//
+// Predictions are scored bit-per-bit against each event's true future
+// readers over all nodes of the machine (prevalence, sensitivity, PVP).
+package eval
+
+import (
+	"fmt"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/core"
+	"cohpredict/internal/metrics"
+	"cohpredict/internal/trace"
+)
+
+// Engine evaluates a single scheme over an event stream.
+type Engine struct {
+	scheme  core.Scheme
+	machine core.Machine
+	table   core.Table
+	conf    metrics.Confusion
+	events  uint64
+}
+
+// NewEngine returns an engine for the scheme on the given machine. It
+// panics if the scheme is invalid.
+func NewEngine(s core.Scheme, m core.Machine) *Engine {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{scheme: s, machine: m, table: core.NewTable(s, m)}
+}
+
+// Scheme returns the scheme under evaluation.
+func (e *Engine) Scheme() core.Scheme { return e.scheme }
+
+// Step processes one event: trains per the update mechanism, predicts, and
+// scores the prediction. It returns the (writer-masked) predicted bitmap.
+func (e *Engine) Step(ev trace.Event) bitmap.Bitmap {
+	idx := e.scheme.Index
+	curKey := idx.Key(ev.PID, ev.PC, ev.Dir, ev.Addr, e.machine)
+	var pred bitmap.Bitmap
+	switch e.scheme.Update {
+	case core.Direct:
+		// Feedback exists only when the closing epoch carried
+		// information (an invalidation actually happened).
+		if ev.HasPrev || !ev.InvReaders.IsEmpty() {
+			e.table.Train(curKey, ev.InvReaders)
+		}
+		pred = e.table.Predict(curKey)
+	case core.Forwarded:
+		// Forwarded update needs last-writer pid/pc only when the
+		// index actually uses them; a pure dir/addr index can always
+		// route the feedback (and is then exactly equivalent to
+		// direct update, the paper's §3.4 observation).
+		needsPrev := idx.UsePID || idx.PCBits > 0
+		switch {
+		case ev.HasPrev:
+			prevKey := idx.Key(ev.PrevPID, ev.PrevPC, ev.Dir, ev.Addr, e.machine)
+			e.table.Train(prevKey, ev.InvReaders)
+		case !needsPrev && !ev.InvReaders.IsEmpty():
+			e.table.Train(curKey, ev.InvReaders)
+		}
+		pred = e.table.Predict(curKey)
+	case core.Ordered:
+		pred = e.table.Predict(curKey)
+		e.table.Train(curKey, ev.FutureReaders)
+	default:
+		panic(fmt.Sprintf("eval: unknown update mode %v", e.scheme.Update))
+	}
+	// A node never forwards to itself.
+	pred = pred.Clear(ev.PID)
+	e.conf.AddBitmaps(pred, ev.FutureReaders, e.machine.Nodes)
+	e.events++
+	return pred
+}
+
+// Run processes a whole trace.
+func (e *Engine) Run(t *trace.Trace) {
+	for i := range t.Events {
+		e.Step(t.Events[i])
+	}
+}
+
+// Confusion returns the accumulated decision tallies.
+func (e *Engine) Confusion() metrics.Confusion { return e.conf }
+
+// Events returns the number of events processed.
+func (e *Engine) Events() uint64 { return e.events }
+
+// TableEntries returns the number of touched predictor entries.
+func (e *Engine) TableEntries() int { return e.table.Entries() }
+
+// Result pairs a scheme with its measured statistics.
+type Result struct {
+	Scheme    core.Scheme
+	Confusion metrics.Confusion
+	SizeLog2  int
+}
+
+// Evaluate runs one scheme over a trace and returns its result.
+func Evaluate(s core.Scheme, m core.Machine, t *trace.Trace) Result {
+	eng := NewEngine(s, m)
+	eng.Run(t)
+	return Result{Scheme: s, Confusion: eng.Confusion(), SizeLog2: s.SizeLog2(m)}
+}
+
+// EvaluateAll runs one scheme over several traces (one per benchmark) and
+// returns the per-trace results plus the arithmetic-average summary the
+// paper reports (averaging the statistics, not pooling the counts, per
+// "arithmetic average over all benchmarks").
+func EvaluateAll(s core.Scheme, m core.Machine, traces []*trace.Trace) ([]Result, Summary) {
+	results := make([]Result, len(traces))
+	for i, t := range traces {
+		results[i] = Evaluate(s, m, t)
+	}
+	return results, Summarize(s, m, results)
+}
+
+// Summary is the cross-benchmark arithmetic average of a scheme's
+// statistics.
+type Summary struct {
+	Scheme      core.Scheme
+	SizeLog2    int
+	Prevalence  float64
+	Sensitivity float64
+	PVP         float64
+}
+
+// Summarize averages per-benchmark results in the paper's fashion.
+func Summarize(s core.Scheme, m core.Machine, results []Result) Summary {
+	sum := Summary{Scheme: s, SizeLog2: s.SizeLog2(m)}
+	if len(results) == 0 {
+		return sum
+	}
+	for _, r := range results {
+		sum.Prevalence += r.Confusion.Prevalence()
+		sum.Sensitivity += r.Confusion.Sensitivity()
+		sum.PVP += r.Confusion.PVP()
+	}
+	n := float64(len(results))
+	sum.Prevalence /= n
+	sum.Sensitivity /= n
+	sum.PVP /= n
+	return sum
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"cohpredict/internal/core"
+	"cohpredict/internal/metrics"
+	"cohpredict/internal/trace"
+)
+
+// Window is the confusion tally of one contiguous slice of a trace.
+type Window struct {
+	// FirstEvent is the index of the window's first event.
+	FirstEvent int
+	// Events is the number of events in the window.
+	Events int
+	// Confusion tallies only this window's decisions.
+	Confusion metrics.Confusion
+}
+
+// EvaluateWindowed runs one scheme over a trace and reports statistics per
+// contiguous window of the given size — the predictor's learning curve.
+// Warm-up effects (cold tables predicting nothing) appear as low early
+// sensitivity; steady-state accuracy is the tail of the curve. The last
+// window may be shorter.
+func EvaluateWindowed(s core.Scheme, m core.Machine, tr *trace.Trace, windowSize int) []Window {
+	if windowSize <= 0 {
+		panic("eval: non-positive window size")
+	}
+	eng := NewEngine(s, m)
+	var out []Window
+	var cur Window
+	var prev metrics.Confusion
+	flush := func(next int) {
+		total := eng.Confusion()
+		delta := total
+		delta.TP -= prev.TP
+		delta.FP -= prev.FP
+		delta.TN -= prev.TN
+		delta.FN -= prev.FN
+		cur.Confusion = delta
+		out = append(out, cur)
+		prev = total
+		cur = Window{FirstEvent: next}
+	}
+	for i := range tr.Events {
+		eng.Step(tr.Events[i])
+		cur.Events++
+		if cur.Events == windowSize {
+			flush(i + 1)
+		}
+	}
+	if cur.Events > 0 {
+		flush(len(tr.Events))
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cohpredict/internal/core"
+	"cohpredict/internal/workload"
+)
+
+// testSuite builds one shared test-scale suite (trace generation is the
+// expensive part).
+var shared *Suite
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	if shared == nil {
+		cfg := DefaultConfig()
+		cfg.Scale = workload.ScaleTest
+		cfg.Quick = true
+		shared = NewSuite(cfg)
+	}
+	return shared
+}
+
+func TestSuiteGeneratesAllBenchmarks(t *testing.T) {
+	s := suite(t)
+	if len(s.Runs) != 7 {
+		t.Fatalf("runs = %d", len(s.Runs))
+	}
+	for _, r := range s.Runs {
+		if len(r.Trace.Events) == 0 {
+			t.Errorf("%s: empty trace", r.Benchmark.Name())
+		}
+		if r.Trace.Nodes != 16 {
+			t.Errorf("%s: nodes = %d", r.Benchmark.Name(), r.Trace.Nodes)
+		}
+	}
+}
+
+func TestAllTablesRender(t *testing.T) {
+	s := suite(t)
+	for n := 1; n <= 11; n++ {
+		out, err := s.Table(n)
+		if err != nil {
+			t.Fatalf("Table(%d): %v", n, err)
+		}
+		if !strings.Contains(out, "Table") {
+			t.Errorf("Table(%d) missing header:\n%s", n, out)
+		}
+	}
+	if _, err := s.Table(0); err == nil {
+		t.Error("Table(0) accepted")
+	}
+	if _, err := s.Table(12); err == nil {
+		t.Error("Table(12) accepted")
+	}
+	// Table 1 structural checks: row 0 is centralized, row 15 distributes
+	// both ways.
+	t1, _ := s.Table(1)
+	if !strings.Contains(t1, "1 entry per directory") || !strings.Contains(t1, "1 entry per processor") {
+		t.Errorf("Table 1 missing distribution comments:\n%s", t1)
+	}
+}
+
+func TestAllFiguresRender(t *testing.T) {
+	s := suite(t)
+	for n := 6; n <= 9; n++ {
+		out, err := s.Figure(n)
+		if err != nil {
+			t.Fatalf("Figure(%d): %v", n, err)
+		}
+		if !strings.Contains(out, "Figure") {
+			t.Errorf("Figure(%d) missing header:\n%s", n, out)
+		}
+		// Figures 6-8 show all three update mechanisms.
+		if n < 9 && !strings.Contains(out, "ordered") {
+			t.Errorf("Figure(%d) missing ordered panel", n)
+		}
+	}
+	if _, err := s.Figure(5); err == nil {
+		t.Error("Figure(5) accepted")
+	}
+}
+
+func TestTable6CountsDecisionsPerPaper(t *testing.T) {
+	s := suite(t)
+	out, err := s.Table(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper accounting: decisions = 16 × events for each benchmark.
+	for _, r := range s.Runs {
+		if !strings.Contains(out, r.Benchmark.Name()) {
+			t.Errorf("Table 6 missing %s", r.Benchmark.Name())
+		}
+	}
+	if !strings.Contains(out, "average") {
+		t.Error("Table 6 missing average row")
+	}
+}
+
+func TestTable7BaselineIdentity(t *testing.T) {
+	// The three direct-update last schemes of Table 7 must coincide
+	// apart from cold-start noise — here we verify the rendered rows
+	// carry the same sensitivity for baseline and Kaxiras-last.
+	s := suite(t)
+	out, err := s.Table(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseRow, kaxRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "baseline-last") {
+			baseRow = line
+		}
+		if strings.Contains(line, "last(pid+pc8)1") && strings.Contains(line, "direct") {
+			kaxRow = line
+		}
+	}
+	if baseRow == "" || kaxRow == "" {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	baseFields := strings.Fields(baseRow)
+	kaxFields := strings.Fields(kaxRow)
+	// Last two columns are sensitivity and PVP.
+	if baseFields[len(baseFields)-1] != kaxFields[len(kaxFields)-1] ||
+		baseFields[len(baseFields)-2] != kaxFields[len(kaxFields)-2] {
+		t.Errorf("Table 7 identity broken:\n%s\n%s", baseRow, kaxRow)
+	}
+}
+
+func TestMemoisedSweep(t *testing.T) {
+	s := suite(t)
+	a := s.sweep(core.Direct)
+	b := s.sweep(core.Direct)
+	if &a[0] != &b[0] {
+		t.Error("sweep not memoised")
+	}
+}
+
+func TestNewSuiteFromRuns(t *testing.T) {
+	src := suite(t)
+	cfg := src.Config
+	clone := NewSuiteFromRuns(cfg, src.Runs)
+	out, err := clone.Table(6)
+	if err != nil || !strings.Contains(out, "barnes") {
+		t.Fatalf("clone Table(6): %v", err)
+	}
+	// Sweeps must work on a cloned suite (regression: nil map).
+	if _, err := clone.Table(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	s := suite(t)
+	files, err := s.FigureCSV(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 { // one panel per update mechanism
+		t.Fatalf("files = %d", len(files))
+	}
+	csv, ok := files["figure6_direct_update.csv"]
+	if !ok {
+		t.Fatalf("missing direct panel; got %v", keys(files))
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "index,sensitivity,pvp" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 17 { // header + 16 combos
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if _, err := s.FigureCSV(99); err == nil {
+		t.Fatal("bad figure accepted")
+	}
+}
+
+func TestFigureSVG(t *testing.T) {
+	s := suite(t)
+	files, err := s.FigureSVG(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 { // inter, union, pas panels
+		t.Fatalf("files = %d: %v", len(files), keys(files))
+	}
+	svg, ok := files["figure9_inter.svg"]
+	if !ok || !strings.HasPrefix(svg, "<svg") {
+		t.Fatalf("missing or malformed inter panel; got %v", keys(files))
+	}
+	if _, err := s.FigureSVG(99); err == nil {
+		t.Fatal("bad figure accepted")
+	}
+}
+
+func keys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestFigureDetail(t *testing.T) {
+	s := suite(t)
+	out, err := s.FigureDetail(7, "ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ocean only") || !strings.Contains(out, "direct update") {
+		t.Fatalf("detail output:\n%s", out)
+	}
+	if _, err := s.FigureDetail(7, "nonesuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := s.FigureDetail(99, "ocean"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestParetoRenders(t *testing.T) {
+	s := suite(t)
+	out := s.Pareto(core.Direct)
+	if !strings.Contains(out, "Pareto") || !strings.Contains(out, "last()1") {
+		t.Fatalf("pareto output:\n%s", out)
+	}
+	// The frontier must be monotone non-decreasing down the rows.
+	prev := -1.0
+	for _, line := range strings.Split(out, "\n")[3:] {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%f", &v); err != nil {
+			continue
+		}
+		if v < prev {
+			t.Fatalf("frontier regressed: %s", line)
+		}
+		prev = v
+	}
+}
+
+func TestExtensionsRender(t *testing.T) {
+	s := suite(t)
+	for name, out := range map[string]string{
+		"sticky":   s.ExtensionSticky(),
+		"limited":  s.ExtensionLimitedDirectory(),
+		"learning": s.ExtensionLearning(),
+		"scaling":  s.ExtensionScaling(),
+		"mesi":     s.ExtensionMESI(),
+		"cosmos":   s.ExtensionCosmos(),
+		"online":   s.ExtensionOnlineForwarding(),
+	} {
+		if !strings.Contains(out, "Extension") {
+			t.Errorf("%s extension output missing header:\n%s", name, out)
+		}
+	}
+}
+
+func TestExtensionMESIEventsNeverIncrease(t *testing.T) {
+	s := suite(t)
+	out := s.ExtensionMESI()
+	for _, line := range strings.Split(out, "\n")[3:] {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		var msi, mesi int
+		if _, err := fmt.Sscanf(fields[1], "%d", &msi); err != nil {
+			continue
+		}
+		if _, err := fmt.Sscanf(fields[2], "%d", &mesi); err != nil {
+			continue
+		}
+		if mesi > msi {
+			t.Fatalf("MESI produced more events than MSI: %s", line)
+		}
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	s := suite(t)
+	out := s.Summary()
+	for _, want := range []string{
+		"Reproduction summary", "Prevalence", "Best PVP, direct",
+		"Best sens, forwarded", "inter(", "union(",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopTablesShapeClaims(t *testing.T) {
+	// The paper's headline shape claims, checked on the quick sweep:
+	// every top-10 PVP scheme is an intersection scheme; every top-10
+	// sensitivity scheme is a union scheme (Tables 8-11).
+	s := suite(t)
+	for _, n := range []int{8, 9} {
+		out, _ := s.Table(n)
+		for _, line := range strings.Split(out, "\n")[3:] {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, "inter(") {
+				t.Errorf("Table %d non-intersection row: %s", n, line)
+			}
+		}
+	}
+	for _, n := range []int{10, 11} {
+		out, _ := s.Table(n)
+		for _, line := range strings.Split(out, "\n")[3:] {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, "union(") {
+				t.Errorf("Table %d non-union row: %s", n, line)
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package forward
+
+import (
+	"strings"
+	"testing"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/core"
+	"cohpredict/internal/trace"
+)
+
+var m16 = core.Machine{Nodes: 16, LineBytes: 64}
+
+func mustParse(t *testing.T, s string) core.Scheme {
+	t.Helper()
+	sc, err := core.ParseScheme(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// stableTrace: one producer, fixed readers {2,5,9}, repeated.
+func stableTrace(events int) *trace.Trace {
+	readers := bitmap.New(2, 5, 9)
+	tr := &trace.Trace{Nodes: 16}
+	for i := 0; i < events; i++ {
+		e := trace.Event{PID: 0, PC: 20, Dir: 3, Addr: 0x1000,
+			InvReaders: readers, FutureReaders: readers}
+		if i > 0 {
+			e.HasPrev, e.PrevPID, e.PrevPC = true, 0, 20
+		} else {
+			e.InvReaders = bitmap.Empty
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	return tr
+}
+
+func TestPerfectPredictionPerfectYield(t *testing.T) {
+	tr := stableTrace(100)
+	r := Estimate(mustParse(t, "last()1"), m16, DefaultConfig(), tr)
+	if r.Yield() != 1 {
+		t.Errorf("yield = %v", r.Yield())
+	}
+	if r.Coverage() < 0.95 {
+		t.Errorf("coverage = %v", r.Coverage())
+	}
+	// 3 readers × 99 predicted events (first event unpredicted).
+	if r.UsefulForwards != 3*99 {
+		t.Errorf("useful = %d", r.UsefulForwards)
+	}
+	if r.WastedForwards != 0 {
+		t.Errorf("wasted = %d", r.WastedForwards)
+	}
+	wantCycles := r.UsefulForwards * uint64(133-52)
+	if r.CyclesSaved != wantCycles {
+		t.Errorf("cycles = %d, want %d", r.CyclesSaved, wantCycles)
+	}
+}
+
+func TestHopAccounting(t *testing.T) {
+	tr := stableTrace(2)
+	cfg := DefaultConfig()
+	r := Estimate(mustParse(t, "last()1"), m16, cfg, tr)
+	// Second event forwards to {2,5,9} from home 3.
+	want := uint64(cfg.Torus.Hops(3, 2) + cfg.Torus.Hops(3, 5) + cfg.Torus.Hops(3, 9))
+	if r.ForwardHopFlits != want {
+		t.Errorf("hops = %d, want %d", r.ForwardHopFlits, want)
+	}
+}
+
+func TestNoForwardsNoDivideByZero(t *testing.T) {
+	tr := &trace.Trace{Nodes: 16, Events: []trace.Event{{PID: 0, PC: 16}}}
+	r := Estimate(mustParse(t, "inter(pid+pc8)4"), m16, DefaultConfig(), tr)
+	if r.Yield() != 0 || r.Coverage() != 0 {
+		t.Errorf("empty result yields %v/%v", r.Yield(), r.Coverage())
+	}
+}
+
+func TestWastedForwardsCounted(t *testing.T) {
+	// Readers change every epoch: last-prediction always forwards to the
+	// previous (now wrong) reader.
+	tr := &trace.Trace{Nodes: 16}
+	for i := 0; i < 50; i++ {
+		cur := bitmap.New(1 + i%10)
+		next := bitmap.New(1 + (i+1)%10)
+		e := trace.Event{PID: 0, PC: 20, Dir: 0, Addr: 0x40,
+			InvReaders: cur, FutureReaders: next}
+		if i > 0 {
+			e.HasPrev, e.PrevPID, e.PrevPC = true, 0, 20
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	r := Estimate(mustParse(t, "last()1"), m16, DefaultConfig(), tr)
+	if r.WastedForwards == 0 {
+		t.Fatal("no wasted forwards on a shifting pattern")
+	}
+	if r.Yield() > 0.1 {
+		t.Errorf("yield = %v, want ≈ 0", r.Yield())
+	}
+	if r.MissesRemaining == 0 {
+		t.Error("unserved readers not counted")
+	}
+}
+
+func TestUnionCoversMoreAtMoreCost(t *testing.T) {
+	// Alternating reader sets: union-2 covers both, inter-2 covers the
+	// intersection (nothing), realising the bandwidth-latency trade-off.
+	a, b := bitmap.New(2), bitmap.New(5)
+	tr := &trace.Trace{Nodes: 16}
+	for i := 0; i < 100; i++ {
+		cur, next := a, b
+		if i%2 == 1 {
+			cur, next = b, a
+		}
+		e := trace.Event{PID: 0, PC: 20, Dir: 0, Addr: 0x40,
+			InvReaders: cur, FutureReaders: next}
+		if i > 0 {
+			e.HasPrev, e.PrevPID, e.PrevPC = true, 0, 20
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	union := Estimate(mustParse(t, "union(add4)2"), m16, DefaultConfig(), tr)
+	inter := Estimate(mustParse(t, "inter(add4)2"), m16, DefaultConfig(), tr)
+	if union.Coverage() <= inter.Coverage() {
+		t.Errorf("union coverage %v should exceed inter %v", union.Coverage(), inter.Coverage())
+	}
+	if union.ForwardHopFlits <= inter.ForwardHopFlits {
+		t.Errorf("union traffic %d should exceed inter %d", union.ForwardHopFlits, inter.ForwardHopFlits)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tr := stableTrace(20)
+	schemes := []core.Scheme{mustParse(t, "last()1"), mustParse(t, "union(add4)4")}
+	rs := Compare(schemes, m16, DefaultConfig(), tr)
+	if len(rs) != 2 || rs[0].Scheme.Fn != core.Last {
+		t.Fatalf("Compare = %+v", rs)
+	}
+	if !strings.Contains(rs[0].String(), "yield") {
+		t.Error("String missing fields")
+	}
+}
+
+func TestNilTorusDefaults(t *testing.T) {
+	tr := stableTrace(5)
+	cfg := Config{LocalLatency: 52, RemoteLatency: 133}
+	r := Estimate(mustParse(t, "last()1"), m16, cfg, tr)
+	if r.UsefulForwards == 0 {
+		t.Fatal("estimate with nil torus failed")
+	}
+}

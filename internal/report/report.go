@@ -1,0 +1,157 @@
+// Package report renders experiment results as aligned text tables and
+// ASCII series charts, one renderer per artifact kind in the paper
+// (statistics tables, top-10 scheme tables, figure sweeps).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of preformatted cells.
+func (t *Table) AddRowf(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.headers)
+	total := len(t.headers)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Series is one named line of a figure (e.g. "sensitivity" or "pvp").
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// RenderSeries renders labelled series as a compact numeric table followed
+// by ASCII bars (one block per 0.05), mirroring the paper's figure layout:
+// one column per indexing combination, one row pair per metric.
+func RenderSeries(title string, labels []string, series []Series) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for _, s := range series {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", width+2, "index")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "  %11s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, l := range labels {
+		fmt.Fprintf(&sb, "%-*s", width+2, l)
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			fmt.Fprintf(&sb, "  %5.3f %s", v, bar(v))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SeriesCSV renders labelled series as CSV with a header row, for
+// downstream plotting tools: one row per label, one column per series.
+func SeriesCSV(labels []string, series []Series) string {
+	var sb strings.Builder
+	sb.WriteString("index")
+	for _, s := range series {
+		sb.WriteByte(',')
+		sb.WriteString(s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, l := range labels {
+		sb.WriteString(l)
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			fmt.Fprintf(&sb, ",%.6f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// bar renders v in [0,1] as a 5-character bar.
+func bar(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	full := int(v*5 + 0.5)
+	return strings.Repeat("#", full) + strings.Repeat(".", 5-full)
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "Name", "Value")
+	tab.AddRow("alpha", 42)
+	tab.AddRow("b", 3.14159)
+	out := tab.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "42") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float not formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every data row at least as wide as the header row.
+	if len(lines[3]) < len("Name  Value") {
+		t.Errorf("row too narrow:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "A")
+	tab.AddRowf("x")
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("leading blank line with empty title")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Fig", []string{"one", "two"}, []Series{
+		{Name: "sens", Values: []float64{0.5, 1.0}},
+		{Name: "pvp", Values: []float64{0.0}},
+	})
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "one") {
+		t.Errorf("missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "0.500") || !strings.Contains(out, "1.000") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	// Short series pad with zeros rather than panicking.
+	if !strings.Contains(out, "0.000") {
+		t.Errorf("missing padded value:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(0) != "....." {
+		t.Errorf("bar(0) = %q", bar(0))
+	}
+	if bar(1) != "#####" {
+		t.Errorf("bar(1) = %q", bar(1))
+	}
+	if bar(0.5) != "###.." && bar(0.5) != "##..." {
+		t.Errorf("bar(0.5) = %q", bar(0.5))
+	}
+	// Out-of-range values clamp.
+	if bar(-3) != "....." || bar(7) != "#####" {
+		t.Error("bar does not clamp")
+	}
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSVG renders labelled series as a standalone SVG line chart in the
+// visual style of the paper's figures: x-axis = indexing combinations,
+// y-axis = a [0,1] statistic, one polyline with point markers per series.
+// The output is self-contained (no scripts, no external fonts) and renders
+// in any browser or vector editor.
+func RenderSVG(title string, labels []string, series []Series) string {
+	const (
+		width   = 900
+		height  = 420
+		left    = 60
+		right   = 30
+		top     = 50
+		bottom  = 130
+		fontPx  = 12
+		titlePx = 15
+	)
+	plotW := width - left - right
+	plotH := height - top - bottom
+	n := len(labels)
+	if n == 0 {
+		n = 1
+	}
+	xAt := func(i int) float64 {
+		if n == 1 {
+			return float64(left) + float64(plotW)/2
+		}
+		return float64(left) + float64(i)*float64(plotW)/float64(n-1)
+	}
+	yAt := func(v float64) float64 {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return float64(top) + (1-v)*float64(plotH)
+	}
+	// A small colour-blind-safe palette.
+	colors := []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" font-weight="bold">%s</text>`,
+		left, top-25, titlePx, escapeXML(title))
+
+	// Gridlines and y labels at 0, .2, .4, .6, .8, 1.
+	for i := 0; i <= 5; i++ {
+		v := float64(i) / 5
+		y := yAt(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			left, y, width-right, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="%d" text-anchor="end">%.1f</text>`,
+			left-8, y+4, fontPx, v)
+	}
+	// X labels, rotated for readability.
+	for i, l := range labels {
+		x := xAt(i)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="%d" text-anchor="end" transform="rotate(-45 %.1f %d)">%s</text>`,
+			x, height-bottom+18, fontPx, x, height-bottom+18, escapeXML(l))
+	}
+	// Series polylines with markers, plus a legend.
+	for si, s := range series {
+		color := colors[si%len(colors)]
+		var pts []string
+		for i := 0; i < len(labels) && i < len(s.Values); i++ {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), yAt(s.Values[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`,
+				color, strings.Join(pts, " "))
+		}
+		for i := 0; i < len(labels) && i < len(s.Values); i++ {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`,
+				xAt(i), yAt(s.Values[i]), color)
+		}
+		lx := left + si*170
+		ly := height - 18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			lx, ly, lx+24, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d">%s</text>`,
+			lx+30, ly+4, fontPx, escapeXML(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSVG(t *testing.T) {
+	out := RenderSVG("Fig & Title", []string{"a<b", "c"}, []Series{
+		{Name: "sens", Values: []float64{0.25, 0.75}},
+		{Name: "pvp", Values: []float64{0.5}},
+	})
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{"Fig &amp; Title", "a&lt;b", "polyline", "circle", "sens", "pvp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(out, "a<b") {
+		t.Error("unescaped label leaked into SVG")
+	}
+	// Out-of-range values clamp inside the plot area rather than
+	// producing negative coordinates.
+	clamped := RenderSVG("t", []string{"x", "y"}, []Series{{Name: "s", Values: []float64{-1, 2}}})
+	if strings.Contains(clamped, "cy=\"-") {
+		t.Error("unclamped y coordinate")
+	}
+}
+
+func TestRenderSVGEmpty(t *testing.T) {
+	out := RenderSVG("empty", nil, nil)
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("empty chart not rendered")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	out := SeriesCSV([]string{"one", "two"}, []Series{
+		{Name: "a", Values: []float64{0.5}},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "index,a" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "one,0.500000" || lines[2] != "two,0.000000" {
+		t.Fatalf("rows = %q", lines[1:])
+	}
+}

@@ -1,0 +1,62 @@
+package search
+
+import (
+	"testing"
+
+	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/metrics"
+	"cohpredict/internal/trace"
+)
+
+// referenceConfusion evaluates one scheme with the reference engine.
+func referenceConfusion(t *testing.T, s core.Scheme, tr *trace.Trace) metrics.Confusion {
+	t.Helper()
+	return eval.Evaluate(s, m16, tr).Confusion
+}
+
+func TestEvaluateSchemesNoTraces(t *testing.T) {
+	s := mustParse(t, "last()1")
+	stats := EvaluateSchemes([]core.Scheme{s}, m16, nil)
+	if len(stats) != 1 || len(stats[0].PerBench) != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].AvgPVP() != 0 {
+		t.Fatal("empty average non-zero")
+	}
+}
+
+func TestEvaluateSchemesEmptyTrace(t *testing.T) {
+	s := mustParse(t, "union(dir+add6)4")
+	stats := EvaluateSchemes([]core.Scheme{s}, m16,
+		[]NamedTrace{{Name: "empty", Trace: &trace.Trace{Nodes: 16}}})
+	if stats[0].PerBench[0].Decisions() != 0 {
+		t.Fatal("decisions on empty trace")
+	}
+}
+
+func TestEvaluateSchemesNoSchemes(t *testing.T) {
+	stats := EvaluateSchemes(nil, m16,
+		[]NamedTrace{{Name: "x", Trace: randomTrace(16, 8, 100, 1)}})
+	if len(stats) != 0 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+}
+
+// TestSliceAndMapPathsAgree pins the flat-slice optimisation: a small
+// index (slice path) and the same scheme re-evaluated through the
+// reference engine agree; and a >maxSliceBits index exercises the map
+// path within the same sweep.
+func TestSliceAndMapPathsAgree(t *testing.T) {
+	tr := randomTrace(16, 64, 3000, 5)
+	small := mustParse(t, "union(dir+add6)2")  // 10 bits → slice path
+	large := mustParse(t, "union(dir+add16)2") // 20 bits → map path
+	stats := EvaluateSchemes([]core.Scheme{small, large}, m16,
+		[]NamedTrace{{Name: "r", Trace: tr}})
+	for i, s := range []core.Scheme{small, large} {
+		want := referenceConfusion(t, s, tr)
+		if stats[i].PerBench[0] != want {
+			t.Errorf("%s: batch %+v != engine %+v", s.String(), stats[i].PerBench[0], want)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package search evaluates large sets of prediction schemes over event
+// traces efficiently — the machinery behind the paper's design-space study
+// (§5.4). Schemes are grouped by (index spec, update mode): all last/union/
+// inter schemes over the same index share one history table (a depth-4
+// window serves every depth), and each event's index keys are computed once
+// per group. The results are bit-identical to evaluating each scheme alone
+// with eval.Engine, which a cross-check test asserts.
+package search
+
+import (
+	"sort"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/core"
+	"cohpredict/internal/metrics"
+	"cohpredict/internal/trace"
+)
+
+// NamedTrace pairs a benchmark name with its coherence-event trace.
+type NamedTrace struct {
+	Name  string
+	Trace *trace.Trace
+}
+
+// Stats is the evaluation result of one scheme: per-benchmark confusion
+// tallies plus the paper's cross-benchmark arithmetic averages.
+type Stats struct {
+	Scheme   core.Scheme
+	SizeLog2 int
+	Bench    []string
+	PerBench []metrics.Confusion
+}
+
+func (s Stats) avg(f func(metrics.Confusion) float64) float64 {
+	if len(s.PerBench) == 0 {
+		return 0
+	}
+	var t float64
+	for _, c := range s.PerBench {
+		t += f(c)
+	}
+	return t / float64(len(s.PerBench))
+}
+
+// AvgPrevalence is the cross-benchmark mean prevalence.
+func (s Stats) AvgPrevalence() float64 {
+	return s.avg(metrics.Confusion.Prevalence)
+}
+
+// AvgSensitivity is the cross-benchmark mean sensitivity.
+func (s Stats) AvgSensitivity() float64 {
+	return s.avg(metrics.Confusion.Sensitivity)
+}
+
+// AvgPVP is the cross-benchmark mean PVP.
+func (s Stats) AvgPVP() float64 {
+	return s.avg(metrics.Confusion.PVP)
+}
+
+// group is a set of schemes sharing index spec and update mode (and hence
+// predictor state where the function family allows).
+type group struct {
+	index  core.IndexSpec
+	update core.UpdateMode
+
+	// histSchemes are last/union/inter schemes sharing the history
+	// window; pasSchemes each get their own per-depth table; sticky
+	// schemes share one sticky-spatial table.
+	histSchemes   []int // indices into the schemes slice
+	pasSchemes    []int
+	stickySchemes []int
+
+	// hist holds the shared last/union/inter history entries. Small
+	// indexes use a flat slice (hot-path lookups avoid map hashing);
+	// larger ones fall back to a map.
+	hist      map[uint64]*core.HistoryEntry
+	histSlice []*core.HistoryEntry
+	pas       map[int]map[uint64]*core.PASEntry // depth → table
+	sticky    core.Table
+}
+
+// maxSliceBits bounds the flat-slice representation: 2^14 pointers per
+// group is 128 KiB, small enough to allocate for every group of a sweep.
+const maxSliceBits = 14
+
+func (g *group) histEntry(key uint64) *core.HistoryEntry {
+	if g.histSlice != nil {
+		return g.histSlice[key]
+	}
+	return g.hist[key]
+}
+
+func (g *group) histTrain(key uint64, feedback bitmap.Bitmap) {
+	if g.histSlice != nil {
+		e := g.histSlice[key]
+		if e == nil {
+			e = &core.HistoryEntry{}
+			g.histSlice[key] = e
+		}
+		e.Push(feedback)
+		return
+	}
+	e := g.hist[key]
+	if e == nil {
+		e = &core.HistoryEntry{}
+		g.hist[key] = e
+	}
+	e.Push(feedback)
+}
+
+type groupKey struct {
+	index  core.IndexSpec
+	update core.UpdateMode
+}
+
+// EvaluateSchemes evaluates every scheme over every trace and returns stats
+// in the same order as the input schemes. Invalid schemes panic (the space
+// builders only produce valid ones).
+func EvaluateSchemes(schemes []core.Scheme, m core.Machine, traces []NamedTrace) []Stats {
+	stats := make([]Stats, len(schemes))
+	names := make([]string, len(traces))
+	for i, nt := range traces {
+		names[i] = nt.Name
+	}
+	for i, s := range schemes {
+		if err := s.Validate(); err != nil {
+			panic(err)
+		}
+		stats[i] = Stats{
+			Scheme:   s,
+			SizeLog2: s.SizeLog2(m),
+			Bench:    names,
+			PerBench: make([]metrics.Confusion, len(traces)),
+		}
+	}
+	for ti, nt := range traces {
+		groups := buildGroups(schemes, m)
+		for _, ev := range nt.Trace.Events {
+			for _, g := range groups {
+				g.step(schemes, stats, ti, ev, m)
+			}
+		}
+	}
+	return stats
+}
+
+func buildGroups(schemes []core.Scheme, m core.Machine) []*group {
+	byKey := make(map[groupKey]*group)
+	var order []*group
+	for i, s := range schemes {
+		k := groupKey{s.Index, s.Update}
+		g, ok := byKey[k]
+		if !ok {
+			g = &group{
+				index:  s.Index,
+				update: s.Update,
+				pas:    make(map[int]map[uint64]*core.PASEntry),
+			}
+			if bits := s.Index.Bits(m); bits <= maxSliceBits {
+				g.histSlice = make([]*core.HistoryEntry, 1<<uint(bits))
+			} else {
+				g.hist = make(map[uint64]*core.HistoryEntry)
+			}
+			byKey[k] = g
+			order = append(order, g)
+		}
+		switch s.Fn {
+		case core.PAs:
+			g.pasSchemes = append(g.pasSchemes, i)
+			if g.pas[s.Depth] == nil {
+				g.pas[s.Depth] = make(map[uint64]*core.PASEntry)
+			}
+		case core.Sticky:
+			g.stickySchemes = append(g.stickySchemes, i)
+			if g.sticky == nil {
+				g.sticky = core.NewTable(s, m)
+			}
+		default:
+			g.histSchemes = append(g.histSchemes, i)
+		}
+	}
+	return order
+}
+
+// step processes one event for the group, mirroring eval.Engine.Step.
+func (g *group) step(schemes []core.Scheme, stats []Stats, ti int, ev trace.Event, m core.Machine) {
+	curKey := g.index.Key(ev.PID, ev.PC, ev.Dir, ev.Addr, m)
+
+	var trainKey uint64
+	train := false
+	switch g.update {
+	case core.Direct:
+		if ev.HasPrev || !ev.InvReaders.IsEmpty() {
+			trainKey, train = curKey, true
+		}
+	case core.Forwarded:
+		needsPrev := g.index.UsePID || g.index.PCBits > 0
+		switch {
+		case ev.HasPrev:
+			trainKey = g.index.Key(ev.PrevPID, ev.PrevPC, ev.Dir, ev.Addr, m)
+			train = true
+		case !needsPrev && !ev.InvReaders.IsEmpty():
+			trainKey, train = curKey, true
+		}
+	case core.Ordered:
+		// Training happens after prediction, with the event's own
+		// future readers.
+	}
+
+	feedback := ev.InvReaders
+	if g.update != core.Ordered && train {
+		if g.sticky != nil {
+			g.sticky.Train(trainKey, feedback)
+		}
+		if len(g.histSchemes) > 0 {
+			g.histTrain(trainKey, feedback)
+		}
+		for depth, table := range g.pas {
+			e := table[trainKey]
+			if e == nil {
+				e = core.NewPASEntry(m.Nodes, depth)
+				table[trainKey] = e
+			}
+			e.Train(feedback)
+		}
+	}
+
+	// Predict and score every scheme in the group.
+	histEntry := g.histEntry(curKey)
+	for _, si := range g.histSchemes {
+		s := schemes[si]
+		var pred bitmap.Bitmap
+		if histEntry != nil {
+			pred = histEntry.Predict(s.Fn, s.Depth)
+		}
+		pred = pred.Clear(ev.PID)
+		stats[si].PerBench[ti].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
+	}
+	for _, si := range g.pasSchemes {
+		s := schemes[si]
+		var pred bitmap.Bitmap
+		if e := g.pas[s.Depth][curKey]; e != nil {
+			pred = e.Predict()
+		}
+		pred = pred.Clear(ev.PID)
+		stats[si].PerBench[ti].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
+	}
+	if g.sticky != nil {
+		pred := g.sticky.Predict(curKey).Clear(ev.PID)
+		for _, si := range g.stickySchemes {
+			stats[si].PerBench[ti].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
+		}
+	}
+
+	if g.update == core.Ordered {
+		if g.sticky != nil {
+			g.sticky.Train(curKey, ev.FutureReaders)
+		}
+		if len(g.histSchemes) > 0 {
+			g.histTrain(curKey, ev.FutureReaders)
+		}
+		for depth, table := range g.pas {
+			e := table[curKey]
+			if e == nil {
+				e = core.NewPASEntry(m.Nodes, depth)
+				table[curKey] = e
+			}
+			e.Train(ev.FutureReaders)
+		}
+	}
+}
+
+// SortByPVP orders stats by descending average PVP (ties: higher
+// sensitivity, then smaller size, then name).
+func SortByPVP(stats []Stats) {
+	sort.SliceStable(stats, func(i, j int) bool {
+		a, b := stats[i], stats[j]
+		if ap, bp := a.AvgPVP(), b.AvgPVP(); ap != bp {
+			return ap > bp
+		}
+		if as, bs := a.AvgSensitivity(), b.AvgSensitivity(); as != bs {
+			return as > bs
+		}
+		if a.SizeLog2 != b.SizeLog2 {
+			return a.SizeLog2 < b.SizeLog2
+		}
+		return a.Scheme.FullString() < b.Scheme.FullString()
+	})
+}
+
+// SortBySensitivity orders stats by descending average sensitivity (ties:
+// higher PVP, then smaller size, then name).
+func SortBySensitivity(stats []Stats) {
+	sort.SliceStable(stats, func(i, j int) bool {
+		a, b := stats[i], stats[j]
+		if as, bs := a.AvgSensitivity(), b.AvgSensitivity(); as != bs {
+			return as > bs
+		}
+		if ap, bp := a.AvgPVP(), b.AvgPVP(); ap != bp {
+			return ap > bp
+		}
+		if a.SizeLog2 != b.SizeLog2 {
+			return a.SizeLog2 < b.SizeLog2
+		}
+		return a.Scheme.FullString() < b.Scheme.FullString()
+	})
+}

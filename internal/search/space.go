@@ -1,0 +1,128 @@
+package search
+
+import "cohpredict/internal/core"
+
+// Space enumerates a region of the taxonomy.
+type Space struct {
+	// PCBitChoices and AddrBitChoices are the candidate field widths
+	// (0 = field unused).
+	PCBitChoices   []int
+	AddrBitChoices []int
+	// Depths are the history depths to enumerate (depth 1 is emitted
+	// once, as Last).
+	Depths []int
+	// IncludePAs adds two-level adaptive schemes at each depth.
+	IncludePAs bool
+	// MaxSizeLog2 caps the scheme cost (paper: 24, i.e. 2 MB).
+	MaxSizeLog2 int
+	// MaxIndexBits caps total index bits (0 = no cap).
+	MaxIndexBits int
+	// Update is the update mechanism for all emitted schemes.
+	Update core.UpdateMode
+}
+
+// DefaultSpace returns the paper's search region: every indexing family
+// with pc/addr widths in steps of two, history depths 1–4, union and
+// intersection (plus PAs), capped at 2^24 total bits. Sticky-spatial
+// schemes are deliberately not enumerated — the paper's Tables 8–11 rank
+// only its own functions, and the extension study (Suite.ExtensionSticky)
+// compares sticky separately.
+func DefaultSpace(update core.UpdateMode) Space {
+	return Space{
+		PCBitChoices:   []int{0, 2, 4, 6, 8, 10, 12, 16},
+		AddrBitChoices: []int{0, 2, 4, 6, 8, 10, 12, 14, 16},
+		Depths:         []int{1, 2, 3, 4},
+		IncludePAs:     true,
+		MaxSizeLog2:    24,
+		Update:         update,
+	}
+}
+
+// QuickSpace returns a reduced region for fast runs: coarser field widths
+// and depths {1, 2, 4}.
+func QuickSpace(update core.UpdateMode) Space {
+	return Space{
+		PCBitChoices:   []int{0, 4, 8},
+		AddrBitChoices: []int{0, 2, 6, 10, 14},
+		Depths:         []int{1, 2, 4},
+		IncludePAs:     true,
+		MaxSizeLog2:    24,
+		Update:         update,
+	}
+}
+
+// Schemes enumerates the space's schemes on machine m.
+func (sp Space) Schemes(m core.Machine) []core.Scheme {
+	var out []core.Scheme
+	add := func(s core.Scheme) {
+		if sp.MaxSizeLog2 > 0 && s.SizeLog2(m) > sp.MaxSizeLog2 {
+			return
+		}
+		if sp.MaxIndexBits > 0 && s.Index.Bits(m) > sp.MaxIndexBits {
+			return
+		}
+		out = append(out, s)
+	}
+	for _, usePID := range []bool{false, true} {
+		for _, useDir := range []bool{false, true} {
+			for _, pcBits := range sp.PCBitChoices {
+				for _, addrBits := range sp.AddrBitChoices {
+					idx := core.IndexSpec{UsePID: usePID, PCBits: pcBits, UseDir: useDir, AddrBits: addrBits}
+					for _, d := range sp.Depths {
+						if d == 1 {
+							add(core.Scheme{Fn: core.Last, Index: idx, Depth: 1, Update: sp.Update})
+						} else {
+							add(core.Scheme{Fn: core.Union, Index: idx, Depth: d, Update: sp.Update})
+							add(core.Scheme{Fn: core.Inter, Index: idx, Depth: d, Update: sp.Update})
+						}
+						if sp.IncludePAs {
+							add(core.Scheme{Fn: core.PAs, Index: idx, Depth: d, Update: sp.Update})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FigureCombos returns the 16 indexing combinations the paper's Figures
+// 6–8 sweep, for a given per-field budget: the full index budget is
+// maxBits; combos combine pid/dir (nodeBits each) with pc/addr halves.
+// For maxBits=16 this reproduces the Figure 6/7 label set
+// (—, add16, dir, add12+dir, pc16, pc8+add8, ...); for maxBits=12 the
+// Figure 8 set.
+func FigureCombos(maxBits int, m core.Machine) []core.IndexSpec {
+	nb := m.NodeBits()
+	var combos []core.IndexSpec
+	// Iterate in the paper's Table 1 row order (pid, pc, dir, addr read
+	// as a 4-bit number), which is also the figures' x-axis order.
+	for row := 0; row < 16; row++ {
+		usePID := row&8 != 0
+		usePC := row&4 != 0
+		useDir := row&2 != 0
+		useAddr := row&1 != 0
+		budget := maxBits
+		if usePID {
+			budget -= nb
+		}
+		if useDir {
+			budget -= nb
+		}
+		spec := core.IndexSpec{UsePID: usePID, UseDir: useDir}
+		switch {
+		case usePC && useAddr:
+			spec.PCBits = budget / 2
+			spec.AddrBits = budget - budget/2
+		case usePC:
+			spec.PCBits = budget
+		case useAddr:
+			spec.AddrBits = budget
+		}
+		if (usePC && spec.PCBits <= 0) || (useAddr && spec.AddrBits <= 0) {
+			continue
+		}
+		combos = append(combos, spec)
+	}
+	return combos
+}

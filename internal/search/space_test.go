@@ -1,0 +1,137 @@
+package search
+
+import (
+	"testing"
+
+	"cohpredict/internal/core"
+)
+
+// TestFigureCombos16MatchesPaper checks the 16-bit combination set against
+// the x-axis labels of the paper's Figures 6 and 7 (addr, dir, pc, pid
+// tuples, in Table 1 row order).
+func TestFigureCombos16MatchesPaper(t *testing.T) {
+	want := []string{
+		"",                 // (—,—,—,—)
+		"add16",            // (16,—,—,—)
+		"dir",              // (—,Y,—,—)
+		"dir+add12",        // (12,Y,—,—)
+		"pc16",             // (—,—,16,—)
+		"pc8+add8",         // (8,—,8,—)
+		"pc12+dir",         // (—,Y,12,—)
+		"pc6+dir+add6",     // (6,Y,6,—)
+		"pid",              // (—,—,—,Y)
+		"pid+add12",        // (12,—,—,Y)
+		"pid+dir",          // (—,Y,—,Y)
+		"pid+dir+add8",     // (8,Y,—,Y)
+		"pid+pc12",         // (—,—,12,Y)
+		"pid+pc6+add6",     // (6,—,6,Y)
+		"pid+pc8+dir",      // (—,Y,8,Y)
+		"pid+pc4+dir+add4", // (4,Y,4,Y)
+	}
+	combos := FigureCombos(16, m16)
+	if len(combos) != len(want) {
+		t.Fatalf("combos = %d, want %d", len(combos), len(want))
+	}
+	for i, c := range combos {
+		if c.String() != want[i] {
+			t.Errorf("combo %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+}
+
+// TestFigureCombos12MatchesPaper checks the 12-bit set of Figure 8.
+func TestFigureCombos12MatchesPaper(t *testing.T) {
+	want := []string{
+		"", "add12", "dir", "dir+add8",
+		"pc12", "pc6+add6", "pc8+dir", "pc4+dir+add4",
+		"pid", "pid+add8", "pid+dir", "pid+dir+add4",
+		"pid+pc8", "pid+pc4+add4", "pid+pc4+dir", "pid+pc2+dir+add2",
+	}
+	combos := FigureCombos(12, m16)
+	if len(combos) != len(want) {
+		t.Fatalf("combos = %d, want %d", len(combos), len(want))
+	}
+	for i, c := range combos {
+		if c.String() != want[i] {
+			t.Errorf("combo %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+}
+
+func TestFigureCombosBudget(t *testing.T) {
+	for _, c := range FigureCombos(16, m16) {
+		if got := c.Bits(m16); got > 16 {
+			t.Errorf("%v uses %d bits > 16", c, got)
+		}
+	}
+}
+
+func TestDefaultSpaceRespectsCostCap(t *testing.T) {
+	sp := DefaultSpace(core.Direct)
+	schemes := sp.Schemes(m16)
+	if len(schemes) == 0 {
+		t.Fatal("empty space")
+	}
+	for _, s := range schemes {
+		if got := s.SizeLog2(m16); got > 24 {
+			t.Errorf("%s costs 2^%d > 2^24", s.FullString(), got)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", s.FullString(), err)
+		}
+	}
+}
+
+func TestDefaultSpaceContainsPaperWinners(t *testing.T) {
+	sp := DefaultSpace(core.Direct)
+	have := map[string]bool{}
+	for _, s := range sp.Schemes(m16) {
+		have[s.String()] = true
+	}
+	// Representative winners from the paper's Tables 8 and 10.
+	for _, want := range []string{
+		"inter(pid+add6)4", "inter(pid+pc2+add6)4", "inter(pid+add8)3",
+		"union(dir+add14)4", "union(add16)4", "union(dir+add2)4",
+		"last()1", "pas(pid+add4)2",
+	} {
+		if !have[want] {
+			t.Errorf("space lacks paper scheme %s", want)
+		}
+	}
+}
+
+func TestDefaultSpaceDepth1EmittedOnce(t *testing.T) {
+	// Depth-1 union and inter are identical to last; the space must emit
+	// only the Last form to avoid triple-counting.
+	for _, s := range DefaultSpace(core.Direct).Schemes(m16) {
+		if s.Depth == 1 && (s.Fn == core.Union || s.Fn == core.Inter) {
+			t.Fatalf("space contains redundant %s", s.FullString())
+		}
+	}
+}
+
+func TestQuickSpaceIsSubsetSized(t *testing.T) {
+	q := len(QuickSpace(core.Direct).Schemes(m16))
+	d := len(DefaultSpace(core.Direct).Schemes(m16))
+	if q == 0 || q >= d {
+		t.Fatalf("quick space size %d vs default %d", q, d)
+	}
+}
+
+func TestSpaceUpdateModePropagates(t *testing.T) {
+	for _, s := range QuickSpace(core.Ordered).Schemes(m16) {
+		if s.Update != core.Ordered {
+			t.Fatalf("scheme %s has wrong update", s.FullString())
+		}
+	}
+}
+
+func TestMaxIndexBitsCap(t *testing.T) {
+	sp := DefaultSpace(core.Direct)
+	sp.MaxIndexBits = 8
+	for _, s := range sp.Schemes(m16) {
+		if s.Index.Bits(m16) > 8 {
+			t.Fatalf("%s exceeds index cap", s.FullString())
+		}
+	}
+}

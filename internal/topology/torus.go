@@ -1,0 +1,157 @@
+// Package topology models the interconnection network of the simulated
+// machine: a 2-D torus with dimension-ordered (XY) routing, matching the
+// paper's "16-node systems with a fast 2-D torus interconnect" (§5.1).
+//
+// Prediction accuracy does not depend on network timing, but the torus is
+// used by the data-forwarding extension (internal/forward) to cost messages
+// and estimate latency saved by successful forwards, and by the machine
+// simulator to account protocol traffic in hop-weighted terms.
+package topology
+
+import "fmt"
+
+// Torus is a W×H two-dimensional torus. Node i sits at (i%W, i/W).
+type Torus struct {
+	W, H int
+}
+
+// NewTorus returns a torus with the given dimensions. It panics if either
+// dimension is not positive.
+func NewTorus(w, h int) *Torus {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("topology: invalid torus dimensions %dx%d", w, h))
+	}
+	return &Torus{W: w, H: h}
+}
+
+// Square returns the smallest square-ish torus with at least n nodes whose
+// node count is exactly n when n is a product of two near-equal factors
+// (16 → 4×4). It panics if n is not expressible as w*h with |w-h| minimal
+// and w*h == n.
+func Square(n int) *Torus {
+	best := 0
+	for w := 1; w*w <= n; w++ {
+		if n%w == 0 {
+			best = w
+		}
+	}
+	if best == 0 {
+		panic(fmt.Sprintf("topology: cannot factor %d nodes into a torus", n))
+	}
+	return NewTorus(n/best, best)
+}
+
+// Nodes returns the number of nodes in the torus.
+func (t *Torus) Nodes() int { return t.W * t.H }
+
+// Coord returns the (x, y) coordinates of a node.
+func (t *Torus) Coord(node int) (x, y int) {
+	t.check(node)
+	return node % t.W, node / t.W
+}
+
+// Node returns the node id at coordinates (x, y), taken modulo the torus
+// dimensions so callers can use relative offsets.
+func (t *Torus) Node(x, y int) int {
+	x = ((x % t.W) + t.W) % t.W
+	y = ((y % t.H) + t.H) % t.H
+	return y*t.W + x
+}
+
+func (t *Torus) check(node int) {
+	if node < 0 || node >= t.Nodes() {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", node, t.Nodes()))
+	}
+}
+
+// wrapDist returns the shortest distance between a and b on a ring of size n.
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Hops returns the minimal hop count between two nodes (wrap-around
+// Manhattan distance), which XY routing achieves.
+func (t *Torus) Hops(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	return wrapDist(ax, bx, t.W) + wrapDist(ay, by, t.H)
+}
+
+// stepToward returns the next ring position moving from a toward b along the
+// shorter direction on a ring of size n.
+func stepToward(a, b, n int) int {
+	if a == b {
+		return a
+	}
+	forward := ((b - a) + n) % n
+	if forward <= n-forward {
+		return (a + 1) % n
+	}
+	return (a - 1 + n) % n
+}
+
+// Route returns the sequence of nodes an XY-routed message visits from src
+// to dst, inclusive of both endpoints. X is corrected first, then Y.
+func (t *Torus) Route(src, dst int) []int {
+	t.check(src)
+	t.check(dst)
+	path := []int{src}
+	x, y := t.Coord(src)
+	dx, dy := t.Coord(dst)
+	for x != dx {
+		x = stepToward(x, dx, t.W)
+		path = append(path, t.Node(x, y))
+	}
+	for y != dy {
+		y = stepToward(y, dy, t.H)
+		path = append(path, t.Node(x, y))
+	}
+	return path
+}
+
+// Diameter returns the maximum hop distance between any node pair.
+func (t *Torus) Diameter() int { return t.W/2 + t.H/2 }
+
+// AvgHops returns the mean hop distance from a node to all nodes (including
+// itself at distance 0) — a useful constant when estimating the cost of
+// multicast forwarding.
+func (t *Torus) AvgHops() float64 {
+	total := 0
+	for b := 0; b < t.Nodes(); b++ {
+		total += t.Hops(0, b)
+	}
+	return float64(total) / float64(t.Nodes())
+}
+
+// TrafficMeter accumulates hop-weighted message counts, used by the
+// forwarding extension to compare network load of prediction schemes.
+type TrafficMeter struct {
+	t        *Torus
+	Messages uint64
+	HopFlits uint64
+}
+
+// NewTrafficMeter returns a meter for the given torus.
+func NewTrafficMeter(t *Torus) *TrafficMeter { return &TrafficMeter{t: t} }
+
+// Send accounts one message from src to dst.
+func (m *TrafficMeter) Send(src, dst int) {
+	m.Messages++
+	m.HopFlits += uint64(m.t.Hops(src, dst))
+}
+
+// Multicast accounts one message from src to every node in dsts, routed as
+// independent unicasts (the paper's DSM protocols have no multicast
+// support).
+func (m *TrafficMeter) Multicast(src int, dsts []int) {
+	for _, d := range dsts {
+		m.Send(src, d)
+	}
+}

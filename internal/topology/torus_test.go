@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSquare(t *testing.T) {
+	tr := Square(16)
+	if tr.W != 4 || tr.H != 4 {
+		t.Fatalf("Square(16) = %dx%d", tr.W, tr.H)
+	}
+	if tr.Nodes() != 16 {
+		t.Fatalf("Nodes = %d", tr.Nodes())
+	}
+	tr = Square(8)
+	if tr.Nodes() != 8 {
+		t.Fatalf("Square(8).Nodes = %d", tr.Nodes())
+	}
+	tr = Square(7) // prime: 7x1
+	if tr.W != 7 || tr.H != 1 {
+		t.Fatalf("Square(7) = %dx%d", tr.W, tr.H)
+	}
+}
+
+func TestCoordNodeInverse(t *testing.T) {
+	tr := NewTorus(4, 4)
+	for n := 0; n < tr.Nodes(); n++ {
+		x, y := tr.Coord(n)
+		if tr.Node(x, y) != n {
+			t.Errorf("Node(Coord(%d)) = %d", n, tr.Node(x, y))
+		}
+	}
+	// Wrap-around addressing.
+	if tr.Node(-1, 0) != 3 {
+		t.Errorf("Node(-1,0) = %d, want 3", tr.Node(-1, 0))
+	}
+	if tr.Node(4, 5) != tr.Node(0, 1) {
+		t.Error("modular addressing broken")
+	}
+}
+
+func TestHopsKnownValues(t *testing.T) {
+	tr := NewTorus(4, 4)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},  // wrap in x
+		{0, 12, 1}, // wrap in y
+		{0, 5, 2},
+		{0, 10, 4}, // (2,2): 2+2
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := tr.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tr := NewTorus(4, 4)
+	if got := tr.Diameter(); got != 4 {
+		t.Errorf("Diameter = %d, want 4", got)
+	}
+	max := 0
+	for a := 0; a < tr.Nodes(); a++ {
+		for b := 0; b < tr.Nodes(); b++ {
+			if h := tr.Hops(a, b); h > max {
+				max = h
+			}
+		}
+	}
+	if max != tr.Diameter() {
+		t.Errorf("measured max %d != Diameter %d", max, tr.Diameter())
+	}
+}
+
+func TestRoute(t *testing.T) {
+	tr := NewTorus(4, 4)
+	for a := 0; a < tr.Nodes(); a++ {
+		for b := 0; b < tr.Nodes(); b++ {
+			path := tr.Route(a, b)
+			if path[0] != a || path[len(path)-1] != b {
+				t.Fatalf("Route(%d,%d) endpoints %v", a, b, path)
+			}
+			if len(path)-1 != tr.Hops(a, b) {
+				t.Fatalf("Route(%d,%d) length %d != hops %d", a, b, len(path)-1, tr.Hops(a, b))
+			}
+			// Each step must move exactly one hop.
+			for i := 1; i < len(path); i++ {
+				if tr.Hops(path[i-1], path[i]) != 1 {
+					t.Fatalf("Route(%d,%d) non-unit step %v", a, b, path)
+				}
+			}
+		}
+	}
+}
+
+// Property: hop distance is a metric — symmetric, zero iff equal, triangle
+// inequality.
+func TestHopsMetricProperty(t *testing.T) {
+	tr := NewTorus(8, 4)
+	n := tr.Nodes()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		if tr.Hops(x, y) != tr.Hops(y, x) {
+			return false
+		}
+		if (tr.Hops(x, y) == 0) != (x == y) {
+			return false
+		}
+		return tr.Hops(x, z) <= tr.Hops(x, y)+tr.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgHops(t *testing.T) {
+	tr := NewTorus(4, 4)
+	got := tr.AvgHops()
+	// For a 4x4 torus: per-ring distances from 0: {0,1,2,1} → mean 1.
+	// 2-D mean = 2 (sum of independent ring means).
+	if got != 2 {
+		t.Errorf("AvgHops = %v, want 2", got)
+	}
+}
+
+func TestTrafficMeter(t *testing.T) {
+	tr := NewTorus(4, 4)
+	m := NewTrafficMeter(tr)
+	m.Send(0, 5)
+	m.Multicast(0, []int{1, 2, 3})
+	if m.Messages != 4 {
+		t.Errorf("Messages = %d", m.Messages)
+	}
+	want := uint64(tr.Hops(0, 5) + tr.Hops(0, 1) + tr.Hops(0, 2) + tr.Hops(0, 3))
+	if m.HopFlits != want {
+		t.Errorf("HopFlits = %d, want %d", m.HopFlits, want)
+	}
+}
+
+func TestNewTorusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTorus(0,4) did not panic")
+		}
+	}()
+	NewTorus(0, 4)
+}

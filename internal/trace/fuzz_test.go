@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead asserts the binary decoder never panics on arbitrary input and
+// that anything it accepts re-encodes to a decodable trace.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid encoding and some mutations.
+	valid := &Trace{Nodes: 16, Events: []Event{{PID: 3, PC: 42, Dir: 7, Addr: 0x1040}}}
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("COHPRED1"))
+	f.Add([]byte("COHPRED1\x10\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("re-encoding accepted trace failed: %v", err)
+		}
+		if _, err := Read(&out); err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohpredict/internal/sched"
+)
+
+// Barnes models the SPLASH Barnes–Hut n-body simulation. Bodies are
+// partitioned over processors; a shared hierarchical tree of space cells
+// summarises mass distribution. Each step has the program's characteristic
+// phases: a lock-protected tree build (migratory sharing of cell lines), an
+// upward summarisation pass (neighbour sharing), a force-computation pass
+// in which every processor reads upper-level cells (wide read sharing — the
+// reason barnes has the suite's highest prevalence, 15.1% in the paper),
+// and a private body update.
+type Barnes struct {
+	Bodies int
+	Leaf   int // leaf cells per side of the spatial grid (power of two)
+	Levels int // tree levels above the leaves
+	Steps  int
+	scale  Scale
+}
+
+// NewBarnes returns the barnes benchmark at the given scale. The paper's
+// input is 8 K particles.
+func NewBarnes(scale Scale) *Barnes {
+	b := &Barnes{scale: scale}
+	switch scale {
+	case ScaleTest:
+		b.Bodies, b.Leaf, b.Levels, b.Steps = 512, 8, 3, 2
+	case ScaleFull:
+		b.Bodies, b.Leaf, b.Levels, b.Steps = 8192, 32, 5, 6
+	default:
+		b.Bodies, b.Leaf, b.Levels, b.Steps = 4096, 16, 4, 5
+	}
+	return b
+}
+
+// Name implements Benchmark.
+func (b *Barnes) Name() string { return "barnes" }
+
+// Input implements Benchmark.
+func (b *Barnes) Input() string { return fmt.Sprintf("%d particles, %d steps", b.Bodies, b.Steps) }
+
+// Static store/load sites.
+const (
+	barnesPCInitBody = sched.UserPCBase + iota
+	barnesPCInitCell
+	barnesPCLoadBodyPos
+	barnesPCLoadCellBuild
+	barnesPCStoreCellBuild
+	barnesPCLoadChild
+	barnesPCStoreParent
+	barnesPCLoadCellWalk
+	barnesPCLoadNbrBody
+	barnesPCStoreForce
+	barnesPCLoadForce
+	barnesPCStorePos
+)
+
+// Run implements Benchmark.
+func (b *Barnes) Run(mem sched.Memory, threads int, seed int64) {
+	rt := sched.New(mem, sched.Config{Threads: threads, Seed: seed})
+
+	// Tree geometry: a Levels-deep quadtree whose leaves are a
+	// Leaf×Leaf grid. levelBase[v] indexes the first cell of level v,
+	// level 0 = leaves.
+	nLeaf := b.Leaf * b.Leaf
+	levelCells := make([]int, b.Levels+1)
+	levelBase := make([]int, b.Levels+1)
+	total := 0
+	side := b.Leaf
+	for v := 0; v <= b.Levels; v++ {
+		levelCells[v] = side * side
+		levelBase[v] = total
+		total += side * side
+		if side > 1 {
+			side /= 2
+		}
+	}
+
+	var l layout
+	bodies := l.records(b.Bodies, 4) // pos, vel, force, mass
+	cells := l.paddedArray(total)    // one line per tree cell
+	// One lock per leaf cell, as in the SPLASH source: a cell's lock is
+	// contended only by the owners of bodies currently in that cell.
+	locks := make([]*sched.Lock, nLeaf)
+	for i := range locks {
+		locks[i] = rt.NewLock()
+	}
+
+	rt.Run(func(t *sched.Thread) {
+		lo, hi := blockRange(b.Bodies, threads, t.ID)
+		clo, chi := blockRange(total, threads, t.ID)
+		// Body cell assignment and interaction lists are
+		// scheduler-local mirror state; the stores below are what the
+		// protocol sees. Interaction lists are stable across steps —
+		// Barnes–Hut neighbourhoods evolve slowly — which is the
+		// source of the program's predictable sharing.
+		cellOf := make([]int, hi-lo)
+		nbrs := make([][]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			t.Store(barnesPCInitBody, bodies.field(i, 0))
+			t.Store(barnesPCInitBody, bodies.field(i, 2))
+			cellOf[i-lo] = t.Rng.Intn(nLeaf)
+			nbrs[i-lo] = make([]int, 8)
+			for k := range nbrs[i-lo] {
+				nbrs[i-lo][k] = (i + 1 + t.Rng.Intn(32)) % b.Bodies
+			}
+		}
+		for c := clo; c < chi; c++ {
+			t.Store(barnesPCInitCell, cells.at(c))
+		}
+		t.Barrier()
+
+		moved := make([]bool, hi-lo)
+		for i := range moved {
+			moved[i] = true // everything inserts on the first step
+		}
+		for s := 0; s < b.Steps; s++ {
+			// Phase 1: tree repair — (re)insert bodies that moved
+			// into their leaf cells under the cell lock
+			// (migratory sharing among the cell's current
+			// owners).
+			for i := lo; i < hi; i++ {
+				if !moved[i-lo] {
+					continue
+				}
+				moved[i-lo] = false
+				c := cellOf[i-lo]
+				lk := locks[c]
+				t.Load(barnesPCLoadBodyPos, bodies.field(i, 0))
+				t.Lock(lk)
+				t.Load(barnesPCLoadCellBuild, cells.at(levelBase[0]+c))
+				t.Store(barnesPCStoreCellBuild, cells.at(levelBase[0]+c))
+				t.Unlock(lk)
+			}
+			t.Barrier()
+			// Phase 2: upward pass — parents summarise children.
+			// Cells of each level are block-partitioned.
+			for v := 1; v <= b.Levels; v++ {
+				plo, phi := blockRange(levelCells[v], threads, t.ID)
+				childSide := intSqrt(levelCells[v-1])
+				parentSide := intSqrt(levelCells[v])
+				for p := plo; p < phi; p++ {
+					px, py := p%parentSide, p/parentSide
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							cx, cy := 2*px+dx, 2*py+dy
+							if cx < childSide && cy < childSide {
+								t.Load(barnesPCLoadChild, cells.at(levelBase[v-1]+cy*childSide+cx))
+							}
+						}
+					}
+					t.Store(barnesPCStoreParent, cells.at(levelBase[v]+p))
+				}
+				t.Barrier()
+			}
+			// Phase 3: force computation — walk the upper tree
+			// (wide sharing) plus a few nearby bodies.
+			for i := lo; i < hi; i++ {
+				c := cellOf[i-lo]
+				// Read the cell's ancestors and their siblings.
+				x, y := c%b.Leaf, c/b.Leaf
+				for v := 1; v <= b.Levels; v++ {
+					x, y = x/2, y/2
+					sideV := intSqrt(levelCells[v])
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							nx, ny := x+dx, y+dy
+							if nx >= 0 && ny >= 0 && nx < sideV && ny < sideV {
+								t.Load(barnesPCLoadCellWalk, cells.at(levelBase[v]+ny*sideV+nx))
+							}
+						}
+					}
+				}
+				// Nearby bodies from the stable interaction
+				// list.
+				for _, j := range nbrs[i-lo] {
+					t.Load(barnesPCLoadNbrBody, bodies.field(j, 0))
+				}
+				t.Store(barnesPCStoreForce, bodies.field(i, 2))
+			}
+			t.Barrier()
+			// Phase 4: private update; bodies drift slowly — an
+			// occasional cell move and interaction-list churn.
+			for i := lo; i < hi; i++ {
+				t.Load(barnesPCLoadForce, bodies.field(i, 2))
+				t.Store(barnesPCStorePos, bodies.field(i, 0))
+				if t.Rng.Intn(8) == 0 {
+					cellOf[i-lo] = t.Rng.Intn(nLeaf)
+					moved[i-lo] = true
+				}
+				if t.Rng.Intn(16) == 0 {
+					k := t.Rng.Intn(len(nbrs[i-lo]))
+					nbrs[i-lo][k] = (i + 1 + t.Rng.Intn(32)) % b.Bodies
+				}
+			}
+			t.Barrier()
+		}
+	})
+}
+
+// intSqrt returns the integer square root of a perfect square.
+func intSqrt(n int) int {
+	r := 0
+	for r*r < n {
+		r++
+	}
+	return r
+}

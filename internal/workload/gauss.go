@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohpredict/internal/sched"
+)
+
+// Gauss performs LU-style Gaussian elimination without pivoting on an n×n
+// matrix stored row-major, with *columns* distributed cyclically over the
+// processors (the classic dense-elimination decomposition). At step k the
+// owner of column k computes the multiplier column and publishes it; every
+// other processor then reads the multipliers to update its own columns.
+//
+// Two kinds of sharing result: one-producer/many-consumer communication of
+// the multiplier column each step, and line-grain false sharing on the
+// matrix itself (a 64-byte line holds 8 consecutive row elements belonging
+// to 8 different column owners), which is precisely the line-size effect
+// the paper calls out in §5.1.
+type Gauss struct {
+	N     int // matrix dimension
+	scale Scale
+}
+
+// NewGauss returns the gauss benchmark at the given scale. The paper's
+// input is a 512×512 array.
+func NewGauss(scale Scale) *Gauss {
+	g := &Gauss{scale: scale}
+	switch scale {
+	case ScaleTest:
+		g.N = 32
+	case ScaleFull:
+		g.N = 256
+	default:
+		g.N = 96
+	}
+	return g
+}
+
+// Name implements Benchmark.
+func (g *Gauss) Name() string { return "gauss" }
+
+// Input implements Benchmark.
+func (g *Gauss) Input() string { return fmt.Sprintf("%dx%d array", g.N, g.N) }
+
+// Static store/load sites.
+const (
+	gaussPCInit = sched.UserPCBase + iota
+	gaussPCLoadPivot
+	gaussPCLoadDiag
+	gaussPCStoreMult
+	gaussPCLoadMult
+	gaussPCLoadElem
+	gaussPCStoreElem
+)
+
+// Run implements Benchmark.
+func (g *Gauss) Run(mem sched.Memory, threads int, seed int64) {
+	rt := sched.New(mem, sched.Config{Threads: threads, Seed: seed})
+	var l layout
+	n := g.N
+	a := l.array(n * n) // row-major matrix
+	mult := l.array(n)  // multiplier column published each step
+	at := func(i, j int) uint64 { return a.at(i*n + j) }
+
+	rt.Run(func(t *sched.Thread) {
+		// First touch: each processor initialises its own columns.
+		for j := t.ID; j < n; j += threads {
+			for i := 0; i < n; i++ {
+				t.Store(gaussPCInit, at(i, j))
+			}
+		}
+		t.Barrier()
+		for k := 0; k < n-1; k++ {
+			if k%threads == t.ID {
+				// Owner of column k computes multipliers
+				// m[i] = a[i][k] / a[k][k] for i > k.
+				t.Load(gaussPCLoadDiag, at(k, k))
+				for i := k + 1; i < n; i++ {
+					t.Load(gaussPCLoadPivot, at(i, k))
+					t.Store(gaussPCStoreMult, mult.at(i))
+				}
+			}
+			t.Barrier()
+			// Every processor updates its columns j > k:
+			// a[i][j] -= m[i] * a[k][j].
+			for j := k + 1; j < n; j++ {
+				if j%threads != t.ID {
+					continue
+				}
+				t.Load(gaussPCLoadElem, at(k, j)) // pivot-row element
+				for i := k + 1; i < n; i++ {
+					t.Load(gaussPCLoadMult, mult.at(i))
+					t.Load(gaussPCLoadElem, at(i, j))
+					t.Store(gaussPCStoreElem, at(i, j))
+				}
+			}
+			t.Barrier()
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohpredict/internal/sched"
+)
+
+// Micro is a family of synthetic single-pattern workloads. The paper's
+// taxonomy discusses prediction behaviour per sharing pattern (static
+// producer–consumer, migratory, wide sharing); Micro isolates each pattern
+// so tests and examples can verify predictor behaviour against known ground
+// truth (e.g. a depth-2 intersection predictor should reach PVP ≈ 1 on a
+// stable producer–consumer pattern).
+type Micro struct {
+	// Pattern is one of "producer-consumer", "migratory", "wide",
+	// "false-sharing" or "random".
+	Pattern string
+	// Blocks is the number of distinct shared cache lines exercised.
+	Blocks int
+	// Iters is the number of write/read rounds.
+	Iters int
+	// Consumers is the consumer-set size for producer-consumer and wide
+	// patterns.
+	Consumers int
+}
+
+// NewMicro returns a micro-workload with the given pattern; zero fields get
+// sensible defaults.
+func NewMicro(pattern string) *Micro {
+	return &Micro{Pattern: pattern, Blocks: 64, Iters: 50, Consumers: 3}
+}
+
+// Name implements Benchmark.
+func (m *Micro) Name() string { return "micro-" + m.Pattern }
+
+// Input implements Benchmark.
+func (m *Micro) Input() string {
+	return fmt.Sprintf("%d blocks, %d iters, %d consumers", m.Blocks, m.Iters, m.Consumers)
+}
+
+// Static store/load sites.
+const (
+	microPCInit = sched.UserPCBase + iota
+	microPCProduce
+	microPCConsume
+	microPCMigLoad
+	microPCMigStore
+)
+
+// Run implements Benchmark.
+func (m *Micro) Run(mem sched.Memory, threads int, seed int64) {
+	rt := sched.New(mem, sched.Config{Threads: threads, Seed: seed})
+	var l layout
+	var data paddedArray
+	if m.Pattern == "false-sharing" {
+		// All "blocks" collapse onto a handful of lines.
+		data = paddedArray{base: l.lines((m.Blocks + 7) / 8)}
+	} else {
+		data = l.paddedArray(m.Blocks)
+	}
+	addr := func(b int) uint64 {
+		if m.Pattern == "false-sharing" {
+			return data.base + uint64(b)*wordBytes
+		}
+		return data.at(b)
+	}
+	lk := rt.NewLock()
+
+	rt.Run(func(t *sched.Thread) {
+		lo, hi := blockRange(m.Blocks, threads, t.ID)
+		for b := lo; b < hi; b++ {
+			t.Store(microPCInit, addr(b))
+		}
+		t.Barrier()
+		for it := 0; it < m.Iters; it++ {
+			switch m.Pattern {
+			case "producer-consumer", "wide", "false-sharing":
+				// Producer phase: write owned blocks.
+				for b := lo; b < hi; b++ {
+					t.Store(microPCProduce, addr(b))
+				}
+				t.Barrier()
+				// Consumer phase: a stable set of consumers
+				// reads each block.
+				nc := m.Consumers
+				if m.Pattern == "wide" {
+					nc = threads - 1
+				}
+				for b := 0; b < m.Blocks; b++ {
+					owner := ownerOf(b, m.Blocks, threads)
+					d := ((t.ID - owner) + threads) % threads
+					if d >= 1 && d <= nc {
+						t.Load(microPCConsume, addr(b))
+					}
+				}
+				t.Barrier()
+			case "migratory":
+				// Lock-protected read-modify-write of every
+				// block in turn: blocks migrate processor to
+				// processor in scheduler order.
+				for b := lo; b < hi; b++ {
+					c := (b + it) % m.Blocks
+					t.Lock(lk)
+					t.Load(microPCMigLoad, addr(c))
+					t.Store(microPCMigStore, addr(c))
+					t.Unlock(lk)
+				}
+				t.Barrier()
+			case "random":
+				for b := lo; b < hi; b++ {
+					c := t.Rng.Intn(m.Blocks)
+					if t.Rng.Intn(2) == 0 {
+						t.Load(microPCConsume, addr(c))
+					} else {
+						t.Store(microPCProduce, addr(c))
+					}
+				}
+				t.Barrier()
+			default:
+				panic(fmt.Sprintf("workload: unknown micro pattern %q", m.Pattern))
+			}
+		}
+	})
+}
+
+// ownerOf returns the block-partition owner of item b.
+func ownerOf(b, n, p int) int {
+	for id := 0; id < p; id++ {
+		lo, hi := blockRange(n, p, id)
+		if b >= lo && b < hi {
+			return id
+		}
+	}
+	return p - 1
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohpredict/internal/sched"
+)
+
+// MP3D models the SPLASH rarefied-fluid-flow simulation, the canonical
+// migratory-sharing workload: particles are partitioned over processors,
+// but every particle move performs a read-modify-write of the shared space
+// cell it lands in, so cell lines migrate between whichever processors'
+// particles visit them. The original program is famously unsynchronised
+// (chaotic updates); so is this kernel.
+type MP3D struct {
+	Particles int
+	Cells     int // space cells (one cache line each)
+	Steps     int
+	scale     Scale
+}
+
+// NewMP3D returns the mp3d benchmark at the given scale. The paper's input
+// is 50 K molecules.
+func NewMP3D(scale Scale) *MP3D {
+	m := &MP3D{scale: scale}
+	switch scale {
+	case ScaleTest:
+		m.Particles, m.Cells, m.Steps = 800, 128, 3
+	case ScaleFull:
+		m.Particles, m.Cells, m.Steps = 50000, 4096, 12
+	default:
+		m.Particles, m.Cells, m.Steps = 20000, 2048, 10
+	}
+	return m
+}
+
+// Name implements Benchmark.
+func (m *MP3D) Name() string { return "mp3d" }
+
+// Input implements Benchmark.
+func (m *MP3D) Input() string {
+	return fmt.Sprintf("%d molecules, %d cells, %d steps", m.Particles, m.Cells, m.Steps)
+}
+
+// Static store/load sites.
+const (
+	mp3dPCInitPart = sched.UserPCBase + iota
+	mp3dPCInitCell
+	mp3dPCLoadPart
+	mp3dPCStorePart
+	mp3dPCLoadCell
+	mp3dPCStoreCell
+	mp3dPCLoadStats
+	mp3dPCLoadRes
+	mp3dPCStoreRes
+)
+
+// Run implements Benchmark.
+func (m *MP3D) Run(mem sched.Memory, threads int, seed int64) {
+	rt := sched.New(mem, sched.Config{Threads: threads, Seed: seed})
+	var l layout
+	parts := l.records(m.Particles, 4)  // position, 3 velocity words
+	cells := l.paddedArray(m.Cells)     // one line per space cell
+	reservoir := l.paddedArray(threads) // per-processor boundary reservoirs
+
+	rt.Run(func(t *sched.Thread) {
+		lo, hi := blockRange(m.Particles, threads, t.ID)
+		clo, chi := blockRange(m.Cells, threads, t.ID)
+		// Track each particle's current cell in scheduler-local state
+		// (the simulated store below is what the protocol sees).
+		pos := make([]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			t.Store(mp3dPCInitPart, parts.field(i, 0))
+			t.Store(mp3dPCInitPart, parts.field(i, 1))
+			// Particles start clustered near their owner's space
+			// block and drift with the flow, so a cell's visitors
+			// at any time are a small, slowly changing set of
+			// processors — mp3d's wind-tunnel structure.
+			span := max(1, (chi-clo)*2)
+			pos[i-lo] = (clo + t.Rng.Intn(span)) % m.Cells
+		}
+		for c := clo; c < chi; c++ {
+			t.Store(mp3dPCInitCell, cells.at(c))
+		}
+		t.Barrier()
+		for s := 0; s < m.Steps; s++ {
+			for i := lo; i < hi; i++ {
+				// Advance the particle: read its state, write
+				// its new position (owner-private after first
+				// touch).
+				t.Load(mp3dPCLoadPart, parts.field(i, 0))
+				t.Load(mp3dPCLoadPart, parts.field(i, 1))
+				t.Store(mp3dPCStorePart, parts.field(i, 0))
+				// Drift: the flow carries particles forward
+				// through the cell space with small jitter and
+				// rare long hops (inflow turbulence).
+				delta := 1 + t.Rng.Intn(3)
+				if t.Rng.Intn(32) == 0 {
+					delta = t.Rng.Intn(m.Cells)
+				}
+				c := (pos[i-lo] + delta) % m.Cells
+				pos[i-lo] = c
+				// Chaotic read-modify-write of the cell state.
+				t.Load(mp3dPCLoadCell, cells.at(c))
+				t.Store(mp3dPCStoreCell, cells.at(c))
+			}
+			t.Barrier()
+			// Field-statistics sweep: each processor tallies the
+			// cells of its own space block (mp3d's flow-field
+			// accounting). This gives every cell one stable
+			// consumer — its block owner — alongside the
+			// migratory particle updates.
+			for c := clo; c < chi; c++ {
+				t.Load(mp3dPCLoadStats, cells.at(c))
+			}
+			// Boundary bookkeeping in the per-processor reservoir.
+			t.Load(mp3dPCLoadRes, reservoir.at(t.ID))
+			t.Store(mp3dPCStoreRes, reservoir.at(t.ID))
+			t.Barrier()
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohpredict/internal/sched"
+)
+
+// Ocean models the SPLASH ocean simulation's dominant kernel: red-black
+// Gauss–Seidel relaxation of a five-point stencil over an n×n grid,
+// partitioned into contiguous blocks of rows per processor. Interior points
+// are private after first touch; the rows on partition boundaries are
+// written by one processor and read by its neighbour every iteration —
+// stable nearest-neighbour producer–consumer sharing with a very low degree
+// of sharing (the paper measures ocean's prevalence at 2.14%, the lowest of
+// the suite).
+type Ocean struct {
+	N     int // grid dimension (including border)
+	Iters int
+	scale Scale
+}
+
+// NewOcean returns the ocean benchmark at the given scale. The paper's
+// input is a 258×258 grid.
+func NewOcean(scale Scale) *Ocean {
+	o := &Ocean{scale: scale}
+	switch scale {
+	case ScaleTest:
+		o.N, o.Iters = 34, 3
+	case ScaleFull:
+		o.N, o.Iters = 258, 16
+	default:
+		o.N, o.Iters = 130, 12
+	}
+	return o
+}
+
+// Name implements Benchmark.
+func (o *Ocean) Name() string { return "ocean" }
+
+// Input implements Benchmark.
+func (o *Ocean) Input() string { return fmt.Sprintf("%dx%d grid, %d iters", o.N, o.N, o.Iters) }
+
+// Static store/load sites.
+const (
+	oceanPCInit = sched.UserPCBase + iota
+	oceanPCLoadSelf
+	oceanPCLoadUp
+	oceanPCLoadDown
+	oceanPCLoadLeft
+	oceanPCLoadRight
+	oceanPCStore
+	oceanPCLoadErr
+	oceanPCStoreErr
+)
+
+// Run implements Benchmark.
+func (o *Ocean) Run(mem sched.Memory, threads int, seed int64) {
+	rt := sched.New(mem, sched.Config{Threads: threads, Seed: seed})
+	var l layout
+	n := o.N
+	grid := l.array(n * n)
+	errs := l.paddedArray(threads) // per-processor residuals, padded
+	gat := func(i, j int) uint64 { return grid.at(i*n + j) }
+
+	rt.Run(func(t *sched.Thread) {
+		// Interior rows are block-partitioned; row 0 and n-1 are fixed
+		// boundary conditions owned by the adjacent partition.
+		lo, hi := blockRange(n-2, threads, t.ID)
+		lo, hi = lo+1, hi+1
+		// First touch: initialise owned rows (plus global border rows
+		// by the edge partitions).
+		ilo, ihi := lo, hi
+		if t.ID == 0 {
+			ilo = 0
+		}
+		if t.ID == threads-1 {
+			ihi = n
+		}
+		for i := ilo; i < ihi; i++ {
+			for j := 0; j < n; j++ {
+				t.Store(oceanPCInit, gat(i, j))
+			}
+		}
+		t.Barrier()
+		for it := 0; it < o.Iters; it++ {
+			// Red then black sweeps: (i+j) parity selects points.
+			for colour := 0; colour < 2; colour++ {
+				for i := lo; i < hi; i++ {
+					for j := 1; j < n-1; j++ {
+						if (i+j)%2 != colour {
+							continue
+						}
+						t.Load(oceanPCLoadUp, gat(i-1, j))
+						t.Load(oceanPCLoadDown, gat(i+1, j))
+						t.Load(oceanPCLoadLeft, gat(i, j-1))
+						t.Load(oceanPCLoadRight, gat(i, j+1))
+						t.Load(oceanPCLoadSelf, gat(i, j))
+						t.Store(oceanPCStore, gat(i, j))
+					}
+				}
+				t.Barrier()
+			}
+			// Residual reduction into the per-processor slot.
+			t.Load(oceanPCLoadErr, errs.at(t.ID))
+			t.Store(oceanPCStoreErr, errs.at(t.ID))
+			t.Barrier()
+		}
+	})
+}

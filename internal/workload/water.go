@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohpredict/internal/sched"
+)
+
+// Water models the SPLASH n-squared water molecular-dynamics code. Each
+// step every processor reads the positions of all molecules within its
+// pair range (wide, read-only sharing of position lines), accumulates
+// inter-molecular forces into the partner molecules under per-molecule
+// locks (migratory sharing), and finally integrates its own molecules
+// privately.
+type Water struct {
+	Molecules int
+	Cutoff    int // half-width of the interaction window in molecule index space
+	Steps     int
+	scale     Scale
+}
+
+// NewWater returns the water benchmark at the given scale. The paper's
+// input is 512 molecules.
+func NewWater(scale Scale) *Water {
+	w := &Water{scale: scale}
+	switch scale {
+	case ScaleTest:
+		w.Molecules, w.Cutoff, w.Steps = 64, 8, 2
+	case ScaleFull:
+		w.Molecules, w.Cutoff, w.Steps = 512, 64, 6
+	default:
+		w.Molecules, w.Cutoff, w.Steps = 512, 32, 4
+	}
+	return w
+}
+
+// Name implements Benchmark.
+func (w *Water) Name() string { return "water" }
+
+// Input implements Benchmark.
+func (w *Water) Input() string { return fmt.Sprintf("%d molecules, %d steps", w.Molecules, w.Steps) }
+
+// Static store/load sites.
+const (
+	waterPCInit = sched.UserPCBase + iota
+	waterPCLoadOwnPos
+	waterPCLoadPartnerPos
+	waterPCLoadPartnerForce
+	waterPCStorePartnerForce
+	waterPCLoadOwnForce
+	waterPCStoreOwnForce
+	waterPCLoadIntegF
+	waterPCStoreIntegP
+	waterPCLoadGlobal
+	waterPCStoreGlobal
+)
+
+// Run implements Benchmark.
+func (w *Water) Run(mem sched.Memory, threads int, seed int64) {
+	rt := sched.New(mem, sched.Config{Threads: threads, Seed: seed})
+	var l layout
+	// Positions, forces and velocities live in separate arrays, as in the
+	// SPLASH source: position lines are pure one-producer/many-consumer
+	// sharing, force lines are lock-protected migratory accumulators.
+	pos := l.array(w.Molecules)
+	force := l.array(w.Molecules)
+	vel := l.array(w.Molecules)
+	global := l.paddedArray(1) // global potential-energy accumulator
+	globalLock := rt.NewLock()
+	molLocks := make([]*sched.Lock, w.Molecules)
+	for i := range molLocks {
+		molLocks[i] = rt.NewLock()
+	}
+
+	rt.Run(func(t *sched.Thread) {
+		lo, hi := blockRange(w.Molecules, threads, t.ID)
+		for i := lo; i < hi; i++ {
+			t.Store(waterPCInit, pos.at(i))
+			t.Store(waterPCInit, force.at(i))
+			t.Store(waterPCInit, vel.at(i))
+		}
+		t.Barrier()
+		for s := 0; s < w.Steps; s++ {
+			// Inter-molecular forces: each processor handles pairs
+			// (i, j) with i in its partition, j in the window above
+			// i (each unordered pair computed once).
+			for i := lo; i < hi; i++ {
+				t.Load(waterPCLoadOwnPos, pos.at(i))
+				for d := 1; d <= w.Cutoff; d++ {
+					j := (i + d) % w.Molecules
+					t.Load(waterPCLoadPartnerPos, pos.at(j))
+				}
+				// Accumulate into own force privately...
+				t.Load(waterPCLoadOwnForce, force.at(i))
+				t.Store(waterPCStoreOwnForce, force.at(i))
+				// ...and into the nearest partners under their
+				// locks. The program batches per-partner
+				// updates (flushing accumulated contributions
+				// every other step); the partner set is the
+				// cutoff neighbourhood and is stable across
+				// steps.
+				if s%2 == 0 {
+					for d := 1; d <= 4; d++ {
+						j := (i + d*w.Cutoff/4) % w.Molecules
+						t.Lock(molLocks[j])
+						t.Load(waterPCLoadPartnerForce, force.at(j))
+						t.Store(waterPCStorePartnerForce, force.at(j))
+						t.Unlock(molLocks[j])
+					}
+				}
+			}
+			t.Barrier()
+			// Private integration of owned molecules.
+			for i := lo; i < hi; i++ {
+				t.Load(waterPCLoadIntegF, force.at(i))
+				t.Store(waterPCStoreIntegP, pos.at(i))
+			}
+			// Global energy reduction.
+			t.Lock(globalLock)
+			t.Load(waterPCLoadGlobal, global.at(0))
+			t.Store(waterPCStoreGlobal, global.at(0))
+			t.Unlock(globalLock)
+			t.Barrier()
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package workload implements the parallel programs whose coherence traffic
+// the predictors are evaluated on. The paper traces seven SPLASH(-like)
+// programs under RSIM (Table 3); neither the binaries nor RSIM are
+// available, so this package re-implements each program's parallel kernel as
+// a deterministic Go workload issuing loads and stores through the simulated
+// machine (see DESIGN.md §2 for the substitution argument).
+//
+// Each kernel reproduces the source program's *sharing structure*:
+//
+//   - barnes:   n-body with a shared spatial tree — lock-based migratory
+//     updates during tree build, wide read sharing of upper tree cells
+//     during force computation.
+//   - em3d:     bipartite graph propagation — static producer–consumer
+//     sharing along remote edges.
+//   - gauss:    Gaussian elimination, column-cyclic over a row-major
+//     matrix — one-to-many pivot communication plus line-grain false
+//     sharing.
+//   - mp3d:     particle-in-cell with unsynchronised cell updates — the
+//     canonical migratory workload.
+//   - ocean:    red-black grid relaxation, block-row partitioned —
+//     nearest-neighbour boundary sharing.
+//   - unstruct: unstructured-mesh edge sweeps with hashed node locks —
+//     irregular sharing between partition neighbours.
+//   - water:    n-squared molecular dynamics — wide read sharing of
+//     positions, locked migratory force accumulation.
+//
+// All kernels use a handful of static store sites (matching the paper's
+// Table 5 observation that live store PCs number in the tens) and perform a
+// parallel first-touch initialisation so data is homed where it is produced.
+package workload
+
+import (
+	"fmt"
+
+	"cohpredict/internal/sched"
+)
+
+// Scale selects workload input sizes.
+type Scale int
+
+const (
+	// ScaleTest is a seconds-fast configuration for unit tests.
+	ScaleTest Scale = iota
+	// ScaleDefault balances fidelity and runtime; the experiment harness
+	// uses it (hundreds of thousands of coherence events per program).
+	ScaleDefault
+	// ScaleFull approaches the paper's input sizes (Table 3); traces
+	// take minutes to generate.
+	ScaleFull
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleDefault:
+		return "default"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// Benchmark is a runnable workload.
+type Benchmark interface {
+	// Name is the paper's benchmark name (lower case).
+	Name() string
+	// Input describes the input size, like the paper's Table 3.
+	Input() string
+	// Run executes the workload on the given memory with the given
+	// number of processors. Execution is deterministic per seed.
+	Run(mem sched.Memory, threads int, seed int64)
+}
+
+// All returns the seven paper benchmarks at the given scale, in the paper's
+// (alphabetical) order.
+func All(scale Scale) []Benchmark {
+	return []Benchmark{
+		NewBarnes(scale),
+		NewEM3D(scale),
+		NewGauss(scale),
+		NewMP3D(scale),
+		NewOcean(scale),
+		NewUnstruct(scale),
+		NewWater(scale),
+	}
+}
+
+// ByName returns the named benchmark at the given scale, or an error listing
+// the valid names.
+func ByName(name string, scale Scale) (Benchmark, error) {
+	for _, b := range All(scale) {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (want one of barnes, em3d, gauss, mp3d, ocean, unstruct, water)", name)
+}
+
+// layout hands out simulated addresses. All workload data lives below
+// sched.DefaultSyncBase; synchronisation lines live above it.
+type layout struct{ next uint64 }
+
+const (
+	wordBytes = 8
+	lineBytes = 64
+)
+
+// words allocates n 8-byte words and returns the base address.
+func (l *layout) words(n int) uint64 {
+	base := l.next
+	l.next += uint64(n) * wordBytes
+	if l.next >= sched.DefaultSyncBase {
+		panic("workload: address space overflow into sync region")
+	}
+	return base
+}
+
+// lines allocates n cache lines, line-aligned, and returns the base address.
+func (l *layout) lines(n int) uint64 {
+	l.next = (l.next + lineBytes - 1) &^ (lineBytes - 1)
+	base := l.next
+	l.next += uint64(n) * lineBytes
+	return base
+}
+
+// array is a 1-D array of 8-byte elements.
+type array struct{ base uint64 }
+
+func (l *layout) array(n int) array { return array{base: l.words(n)} }
+
+// at returns the address of element i.
+func (a array) at(i int) uint64 { return a.base + uint64(i)*wordBytes }
+
+// paddedArray is an array with one element per cache line, used for data
+// whose false sharing the source program avoids (e.g. per-processor slots).
+type paddedArray struct{ base uint64 }
+
+func (l *layout) paddedArray(n int) paddedArray { return paddedArray{base: l.lines(n)} }
+
+func (a paddedArray) at(i int) uint64 { return a.base + uint64(i)*lineBytes }
+
+// record is a multi-word record array (n records of w words each), for
+// bodies, molecules, particles and similar structures.
+type record struct {
+	base  uint64
+	words int
+}
+
+func (l *layout) records(n, w int) record {
+	return record{base: l.words(n * w), words: w}
+}
+
+// field returns the address of word f of record i.
+func (r record) field(i, f int) uint64 {
+	return r.base + uint64(i*r.words+f)*wordBytes
+}
+
+// blockRange returns the half-open index range [lo, hi) of a block
+// partition of n items over p processors for processor id.
+func blockRange(n, p, id int) (lo, hi int) {
+	per := n / p
+	rem := n % p
+	lo = id*per + min(id, rem)
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"cohpredict/internal/machine"
+	"cohpredict/internal/sched"
+)
+
+// countingMem tallies accesses per pid and per pc.
+type countingMem struct {
+	perPID map[int]int
+	perPC  map[uint64]int
+	total  int
+	minA   uint64
+	maxA   uint64
+}
+
+func newCountingMem() *countingMem {
+	return &countingMem{perPID: map[int]int{}, perPC: map[uint64]int{}, minA: ^uint64(0)}
+}
+
+func (m *countingMem) note(pid int, pc, addr uint64) {
+	m.perPID[pid]++
+	m.perPC[pc]++
+	m.total++
+	if addr < m.minA {
+		m.minA = addr
+	}
+	if addr > m.maxA {
+		m.maxA = addr
+	}
+}
+
+func (m *countingMem) Load(pid int, pc, addr uint64)  { m.note(pid, pc, addr) }
+func (m *countingMem) Store(pid int, pc, addr uint64) { m.note(pid, pc, addr) }
+
+func TestAllReturnsSevenBenchmarks(t *testing.T) {
+	bs := All(ScaleTest)
+	if len(bs) != 7 {
+		t.Fatalf("benchmarks = %d", len(bs))
+	}
+	want := []string{"barnes", "em3d", "gauss", "mp3d", "ocean", "unstruct", "water"}
+	for i, b := range bs {
+		if b.Name() != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, b.Name(), want[i])
+		}
+		if b.Input() == "" {
+			t.Errorf("%s has empty input description", b.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("mp3d", ScaleTest)
+	if err != nil || b.Name() != "mp3d" {
+		t.Fatalf("ByName = %v, %v", b, err)
+	}
+	if _, err := ByName("nonesuch", ScaleTest); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestEveryBenchmarkRunsAllThreads(t *testing.T) {
+	for _, b := range All(ScaleTest) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			mem := newCountingMem()
+			b.Run(mem, 16, 1)
+			if mem.total == 0 {
+				t.Fatal("no accesses issued")
+			}
+			for pid := 0; pid < 16; pid++ {
+				if mem.perPID[pid] == 0 {
+					t.Errorf("thread %d issued no accesses", pid)
+				}
+			}
+		})
+	}
+}
+
+func TestEveryBenchmarkDeterministic(t *testing.T) {
+	type rec struct {
+		pid   int
+		pc    uint64
+		addr  uint64
+		write bool
+	}
+	capture := func(b Benchmark, seed int64) []rec {
+		var out []rec
+		mem := memFunc(func(pid int, pc, addr uint64, w bool) {
+			out = append(out, rec{pid, pc, addr, w})
+		})
+		b.Run(mem, 8, seed)
+		return out
+	}
+	for _, b := range All(ScaleTest) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			a := capture(b, 42)
+			c := capture(b, 42)
+			if !reflect.DeepEqual(a, c) {
+				t.Fatal("same seed produced different traces")
+			}
+		})
+	}
+}
+
+type memFunc func(pid int, pc, addr uint64, write bool)
+
+func (f memFunc) Load(pid int, pc, addr uint64)  { f(pid, pc, addr, false) }
+func (f memFunc) Store(pid int, pc, addr uint64) { f(pid, pc, addr, true) }
+
+func TestStaticStoreSitesAreFew(t *testing.T) {
+	// The paper's Table 5 observation: live static store sites number in
+	// the tens. Our kernels must preserve that property.
+	for _, b := range All(ScaleTest) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			stores := map[uint64]bool{}
+			mem := memFunc(func(_ int, pc, _ uint64, w bool) {
+				if w {
+					stores[pc] = true
+				}
+			})
+			b.Run(mem, 16, 1)
+			if len(stores) == 0 || len(stores) > 64 {
+				t.Fatalf("static store sites = %d, want 1..64", len(stores))
+			}
+		})
+	}
+}
+
+func TestUserAddressesBelowSyncBase(t *testing.T) {
+	for _, b := range All(ScaleTest) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			mem := memFunc(func(_ int, pc, addr uint64, _ bool) {
+				if pc >= sched.UserPCBase && addr >= sched.DefaultSyncBase {
+					t.Fatalf("user access at sync address %#x (pc %d)", addr, pc)
+				}
+			})
+			b.Run(mem, 16, 1)
+		})
+	}
+}
+
+func TestSharingExists(t *testing.T) {
+	// Every benchmark must actually produce inter-node sharing:
+	// coherence events with non-empty reader feedback.
+	for _, b := range All(ScaleTest) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			m := machine.New(machine.DefaultConfig())
+			b.Run(m, 16, 1)
+			tr := m.Finish()
+			if len(tr.Events) == 0 {
+				t.Fatal("no prediction events")
+			}
+			shared := 0
+			for _, e := range tr.Events {
+				shared += e.FutureReaders.Count()
+			}
+			if shared == 0 {
+				t.Fatal("no sharing observed")
+			}
+			prev := float64(shared) / float64(len(tr.Events)*16)
+			if prev < 0.005 || prev > 0.6 {
+				t.Errorf("prevalence %.3f outside plausible band", prev)
+			}
+		})
+	}
+}
+
+func TestScales(t *testing.T) {
+	for _, s := range []Scale{ScaleTest, ScaleDefault, ScaleFull} {
+		if s.String() == "" {
+			t.Error("empty scale name")
+		}
+		for _, b := range All(s) {
+			if b.Input() == "" {
+				t.Errorf("%s@%s empty input", b.Name(), s)
+			}
+		}
+	}
+	if Scale(99).String() == "" {
+		t.Error("unknown scale should still render")
+	}
+}
+
+func TestBlockRange(t *testing.T) {
+	// Partitions must cover [0, n) exactly, in order, non-overlapping.
+	for _, c := range []struct{ n, p int }{{10, 3}, {16, 16}, {7, 16}, {100, 7}, {0, 4}} {
+		next := 0
+		for id := 0; id < c.p; id++ {
+			lo, hi := blockRange(c.n, c.p, id)
+			if lo != next {
+				t.Fatalf("n=%d p=%d id=%d: lo=%d want %d", c.n, c.p, id, lo, next)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d p=%d id=%d: hi<lo", c.n, c.p, id)
+			}
+			next = hi
+		}
+		if next != c.n {
+			t.Fatalf("n=%d p=%d: coverage ends at %d", c.n, c.p, next)
+		}
+	}
+}
+
+func TestOwnerOfConsistentWithBlockRange(t *testing.T) {
+	n, p := 37, 5
+	for b := 0; b < n; b++ {
+		id := ownerOf(b, n, p)
+		lo, hi := blockRange(n, p, id)
+		if b < lo || b >= hi {
+			t.Fatalf("ownerOf(%d) = %d but range [%d,%d)", b, id, lo, hi)
+		}
+	}
+}
+
+func TestLayout(t *testing.T) {
+	var l layout
+	a := l.array(10)
+	b := l.array(10)
+	if a.at(9) >= b.at(0) {
+		t.Fatal("arrays overlap")
+	}
+	pa := l.paddedArray(4)
+	if (pa.at(1)-pa.at(0))%lineBytes != 0 || pa.at(0)%lineBytes != 0 {
+		t.Fatal("padded array not line-aligned")
+	}
+	r := l.records(4, 3)
+	if r.field(1, 0)-r.field(0, 0) != 3*wordBytes {
+		t.Fatal("record stride wrong")
+	}
+	if r.field(0, 2)-r.field(0, 0) != 2*wordBytes {
+		t.Fatal("field offset wrong")
+	}
+}
+
+func TestMicroPatterns(t *testing.T) {
+	for _, pattern := range []string{"producer-consumer", "migratory", "wide", "false-sharing", "random"} {
+		pattern := pattern
+		t.Run(pattern, func(t *testing.T) {
+			mi := NewMicro(pattern)
+			mi.Iters = 5
+			m := machine.New(machine.DefaultConfig())
+			mi.Run(m, 16, 3)
+			tr := m.Finish()
+			if len(tr.Events) == 0 {
+				t.Fatal("no events")
+			}
+		})
+	}
+}
+
+func TestMicroUnknownPatternPanics(t *testing.T) {
+	mi := NewMicro("bogus")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown pattern accepted")
+		}
+	}()
+	mi.Run(newCountingMem(), 4, 1)
+}
+
+func TestMicroProducerConsumerIsPredictable(t *testing.T) {
+	// The stable producer-consumer pattern must make its consumer sets
+	// visible to the directory: most events should carry the consumer
+	// count.
+	mi := NewMicro("producer-consumer")
+	mi.Consumers = 3
+	mi.Iters = 20
+	m := machine.New(machine.DefaultConfig())
+	mi.Run(m, 16, 3)
+	tr := m.Finish()
+	full := 0
+	for _, e := range tr.Events {
+		if e.FutureReaders.Count() == mi.Consumers {
+			full++
+		}
+	}
+	if float64(full) < 0.5*float64(len(tr.Events)) {
+		t.Fatalf("only %d/%d events see the full consumer set", full, len(tr.Events))
+	}
+}
+
+func TestMicroWideSharing(t *testing.T) {
+	mi := NewMicro("wide")
+	mi.Iters = 10
+	m := machine.New(machine.DefaultConfig())
+	mi.Run(m, 16, 3)
+	tr := m.Finish()
+	wide := 0
+	for _, e := range tr.Events {
+		if e.FutureReaders.Count() >= 10 {
+			wide++
+		}
+	}
+	if wide == 0 {
+		t.Fatal("wide pattern produced no wide reader sets")
+	}
+}
