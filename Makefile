@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the gate every change must pass:
+# vet plus the full test suite under the race detector (the parallel sweep
+# engine and suite generation run concurrent paths in ordinary tests).
+
+GO ?= go
+
+.PHONY: check vet test race bench build
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark the sweep engine only (serial baseline + parallel family).
+bench:
+	$(GO) test -run='^$$' -bench='Sweep' -benchmem .
+
+# Full benchmark suite: every table, figure, ablation and hot path.
+bench-all:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...

@@ -7,6 +7,7 @@
 package cohpredict
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -254,6 +255,50 @@ func BenchmarkBatchSweepPerEvent(b *testing.B) {
 		search.EvaluateSchemes(schemes, cm, traces)
 	}
 	b.ReportMetric(float64(b.N*events), "events")
+}
+
+// --- Parallel sweep engine --------------------------------------------------
+
+// benchSweepWorkers runs the Table 8 sweep workload (the quick direct-update
+// design space over the full suite) at a fixed worker count.
+func benchSweepWorkers(b *testing.B, workers int) {
+	s := benchSuite(b)
+	traces := s.NamedTraces()
+	schemes := search.QuickSpace(core.Direct).Schemes(cm)
+	var events int
+	for _, nt := range traces {
+		events += len(nt.Trace.Events)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.EvaluateSchemesWorkers(schemes, cm, traces, workers)
+	}
+	b.ReportMetric(float64(events*len(schemes)*b.N)/b.Elapsed().Seconds(), "scheme-events/s")
+}
+
+// BenchmarkSweepSerial is the workers=1 baseline of the parallel family.
+func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepParallel sweeps the same workload at increasing worker
+// counts; on a 4+-core machine the 4-worker variant runs ≥2× the serial
+// baseline (the work fans out over traces × index specs, far more tasks
+// than workers). The sub-benchmark results are byte-identical []Stats —
+// asserted by TestSerialParallelEquivalence in internal/search.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchSweepWorkers(b, w) })
+	}
+	b.Run("workers=max", func(b *testing.B) { benchSweepWorkers(b, 0) })
+}
+
+// BenchmarkSuiteGenerationParallel measures suite trace generation on the
+// full worker pool (cf. BenchmarkTraceGenerationAll, the serial loop).
+func BenchmarkSuiteGenerationParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultConfig()
+		cfg.Scale = workload.ScaleTest
+		experiments.NewSuite(cfg)
+	}
 }
 
 // BenchmarkMachineSimulation measures raw simulation throughput

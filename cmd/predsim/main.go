@@ -14,6 +14,11 @@
 //	predsim -save traces/        # persist the generated traces
 //	predsim -summary -quick      # one-screen paper-vs-measured verdicts
 //	predsim -extensions          # the seven extension studies
+//	predsim -all -workers 4      # bound the worker pool (0 = all CPUs)
+//	predsim -quick -benchjson b.json   # machine-readable sweep perf records
+//
+// Simulation and sweeps run on a bounded worker pool; output is
+// byte-identical for every -workers value.
 package main
 
 import (
@@ -28,7 +33,6 @@ import (
 	"cohpredict/internal/experiments"
 	"cohpredict/internal/machine"
 	"cohpredict/internal/report"
-	"cohpredict/internal/search"
 	"cohpredict/internal/trace"
 	"cohpredict/internal/workload"
 )
@@ -59,6 +63,8 @@ func run() error {
 		loadDir  = flag.String("load", "", "read traces from this directory instead of simulating")
 		summary  = flag.Bool("summary", false, "print the headline reproduction summary")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+		workers  = flag.Int("workers", 0, "worker pool size for simulation and sweeps (0 = all CPUs); results are identical for any value")
+		benchOut = flag.String("benchjson", "", "write machine-readable sweep perf records (wall time, events/sec) to this JSON file")
 		verbose  = flag.Bool("v", false, "print progress")
 	)
 	flag.Parse()
@@ -78,6 +84,7 @@ func run() error {
 	cfg.Scale = scale
 	cfg.Seed = *seed
 	cfg.Quick = *quick
+	cfg.Workers = *workers
 	if *verbose {
 		cfg.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "predsim: "+format+"\n", args...)
@@ -102,11 +109,13 @@ func run() error {
 		}
 	}
 
-	if *schemeS != "" {
-		return evalSchemes(suite, *schemeS)
-	}
-
 	did := false
+	if *schemeS != "" {
+		if err := evalSchemes(suite, *schemeS); err != nil {
+			return err
+		}
+		did = true
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
@@ -212,6 +221,26 @@ func run() error {
 		}
 		did = true
 	}
+	if *benchOut != "" {
+		// With no other artifact requested, run the Tables 8/9 sweep
+		// workload so the flag works as a self-contained perf probe.
+		if len(suite.SweepRecords()) == 0 {
+			for _, n := range []int{8, 9} {
+				if _, err := suite.Table(n); err != nil {
+					return err
+				}
+			}
+		}
+		data, err := suite.BenchJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *benchOut)
+		did = true
+	}
 	if !did && *saveDir == "" {
 		flag.Usage()
 	}
@@ -312,7 +341,7 @@ func evalSchemes(suite *experiments.Suite, schemeList string) error {
 		}
 		schemes = append(schemes, s)
 	}
-	stats := search.EvaluateSchemes(schemes, suite.CM, suite.NamedTraces())
+	stats := suite.Evaluate("scheme-flag", schemes)
 	t := report.NewTable("", "Scheme", "SizeLog2", "Prev", "Sens", "PVP")
 	for _, st := range stats {
 		t.AddRowf(st.Scheme.FullString(), fmt.Sprint(st.SizeLog2),

@@ -141,20 +141,18 @@ type Summary struct {
 	PVP         float64
 }
 
-// Summarize averages per-benchmark results in the paper's fashion.
+// Summarize averages per-benchmark results in the paper's fashion
+// (metrics.Mean, the module's single cross-benchmark averaging helper).
 func Summarize(s core.Scheme, m core.Machine, results []Result) Summary {
-	sum := Summary{Scheme: s, SizeLog2: s.SizeLog2(m)}
-	if len(results) == 0 {
-		return sum
+	confs := make([]metrics.Confusion, len(results))
+	for i, r := range results {
+		confs[i] = r.Confusion
 	}
-	for _, r := range results {
-		sum.Prevalence += r.Confusion.Prevalence()
-		sum.Sensitivity += r.Confusion.Sensitivity()
-		sum.PVP += r.Confusion.PVP()
+	return Summary{
+		Scheme:      s,
+		SizeLog2:    s.SizeLog2(m),
+		Prevalence:  metrics.Mean(confs, metrics.Confusion.Prevalence),
+		Sensitivity: metrics.Mean(confs, metrics.Confusion.Sensitivity),
+		PVP:         metrics.Mean(confs, metrics.Confusion.PVP),
 	}
-	n := float64(len(results))
-	sum.Prevalence /= n
-	sum.Sensitivity /= n
-	sum.PVP /= n
-	return sum
 }

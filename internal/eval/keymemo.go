@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"cohpredict/internal/core"
+	"cohpredict/internal/trace"
+)
+
+// KeyMemo holds the per-event predictor index keys of one IndexSpec over one
+// trace, computed once and shared by every scheme group that uses the index.
+// The design-space sweep evaluates many (index, update) groups per trace;
+// without the memo every group with the same index but a different update
+// mode recomputes IndexSpec.Key for every event.
+type KeyMemo struct {
+	// Cur is the current writer's key per event (always populated).
+	Cur []uint64
+	// Prev is the previous writer's key per event, used by forwarded
+	// update. It is nil unless requested, and Prev[i] is meaningful only
+	// where Events[i].HasPrev.
+	Prev []uint64
+}
+
+// MemoKeys computes the key memo for idx over events on machine m. Prev
+// keys are computed only when withPrev is set (they are needed only by
+// forwarded-update groups whose index reads pid or pc).
+func MemoKeys(idx core.IndexSpec, events []trace.Event, m core.Machine, withPrev bool) KeyMemo {
+	km := KeyMemo{Cur: make([]uint64, len(events))}
+	for i := range events {
+		ev := &events[i]
+		km.Cur[i] = idx.Key(ev.PID, ev.PC, ev.Dir, ev.Addr, m)
+	}
+	if withPrev {
+		km.Prev = make([]uint64, len(events))
+		for i := range events {
+			ev := &events[i]
+			if ev.HasPrev {
+				km.Prev[i] = idx.Key(ev.PrevPID, ev.PrevPC, ev.Dir, ev.Addr, m)
+			}
+		}
+	}
+	return km
+}

@@ -8,6 +8,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"cohpredict/internal/core"
 	"cohpredict/internal/machine"
@@ -24,8 +26,28 @@ type Config struct {
 	Machine machine.Config
 	// Quick reduces the design-space sweep for Tables 8–11.
 	Quick bool
+	// Workers bounds the worker pool used for benchmark simulation and
+	// design-space sweeps; <= 0 selects runtime.GOMAXPROCS(0). Results
+	// are bit-identical for every worker count.
+	Workers int
 	// Progress, if non-nil, receives status lines while long steps run.
+	// It may be called from several workers; calls are serialised.
 	Progress func(format string, args ...interface{})
+}
+
+// workerCount resolves the configured pool size, capped at limit.
+func (c Config) workerCount(limit int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DefaultConfig returns the standard reproduction configuration: the
@@ -48,23 +70,47 @@ type Suite struct {
 	Runs   []BenchRun
 
 	sweeps map[core.UpdateMode][]search.Stats
+
+	progressMu sync.Mutex
+	benchMu    sync.Mutex
+	benchRecs  []SweepRecord
 }
 
 // NewSuite runs every benchmark through the simulator and returns the
-// ready-to-evaluate suite.
+// ready-to-evaluate suite. The per-benchmark simulations are independent
+// (each owns its machine and deterministic scheduler seed), so they run on
+// the configured worker pool; Runs keeps the workload.All order regardless.
 func NewSuite(cfg Config) *Suite {
 	s := &Suite{
 		Config: cfg,
 		CM:     core.Machine{Nodes: cfg.Machine.Nodes, LineBytes: cfg.Machine.LineBytes},
 		sweeps: make(map[core.UpdateMode][]search.Stats),
 	}
-	for _, b := range workload.All(cfg.Scale) {
-		s.progress("simulating %s (%s)", b.Name(), b.Input())
-		m := machine.New(cfg.Machine)
-		b.Run(m, cfg.Machine.Nodes, cfg.Seed)
-		tr := m.Finish()
-		s.Runs = append(s.Runs, BenchRun{Benchmark: b, Trace: tr, Stats: m.Stats()})
+	benches := workload.All(cfg.Scale)
+	runs := make([]BenchRun, len(benches))
+	workers := cfg.workerCount(len(benches))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				b := benches[i]
+				s.progress("simulating %s (%s)", b.Name(), b.Input())
+				m := machine.New(cfg.Machine)
+				b.Run(m, cfg.Machine.Nodes, cfg.Seed)
+				tr := m.Finish()
+				runs[i] = BenchRun{Benchmark: b, Trace: tr, Stats: m.Stats()}
+			}
+		}()
 	}
+	for i := range benches {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	s.Runs = runs
 	return s
 }
 
@@ -82,7 +128,9 @@ func NewSuiteFromRuns(cfg Config, runs []BenchRun) *Suite {
 
 func (s *Suite) progress(format string, args ...interface{}) {
 	if s.Config.Progress != nil {
+		s.progressMu.Lock()
 		s.Config.Progress(format, args...)
+		s.progressMu.Unlock()
 	}
 }
 
@@ -373,7 +421,7 @@ func (s *Suite) table7() string {
 		}
 		schemes[i] = sc
 	}
-	stats := search.EvaluateSchemes(schemes, s.CM, s.NamedTraces())
+	stats := s.evaluate("table7", schemes, s.NamedTraces())
 	t := report.NewTable("Table 7: schemes reported by earlier work",
 		"Description", "Scheme", "Update", "SizeLog2(bits)", "Sensitivity", "PVP")
 	for i, st := range stats {
@@ -395,7 +443,7 @@ func (s *Suite) sweep(mode core.UpdateMode) []search.Stats {
 	}
 	schemes := sp.Schemes(s.CM)
 	s.progress("sweeping %d schemes under %v update", len(schemes), mode)
-	st := search.EvaluateSchemes(schemes, s.CM, s.NamedTraces())
+	st := s.evaluate(fmt.Sprintf("sweep/%v", mode), schemes, s.NamedTraces())
 	s.sweeps[mode] = st
 	return st
 }
@@ -446,7 +494,7 @@ func (s *Suite) figureFn(fn core.Function, depth, maxBits int) []FigurePanel {
 		for i, c := range combos {
 			schemes[i] = core.Scheme{Fn: fn, Index: c, Depth: depth, Update: mode}
 		}
-		stats := search.EvaluateSchemes(schemes, s.CM, s.NamedTraces())
+		stats := s.evaluate(fmt.Sprintf("figure/%v/%v", fn, mode), schemes, s.NamedTraces())
 		sens := make([]float64, len(stats))
 		pvp := make([]float64, len(stats))
 		for i, st := range stats {
@@ -480,7 +528,7 @@ func (s *Suite) figure9() []FigurePanel {
 				core.Scheme{Fn: part.fn, Index: c, Depth: 2, Update: core.Direct},
 				core.Scheme{Fn: part.fn, Index: c, Depth: 4, Update: core.Direct})
 		}
-		stats := search.EvaluateSchemes(schemes, s.CM, s.NamedTraces())
+		stats := s.evaluate(fmt.Sprintf("figure9/%v", part.fn), schemes, s.NamedTraces())
 		series := []report.Series{
 			{Name: "pvp(2)"}, {Name: "sens(2)"}, {Name: "pvp(4)"}, {Name: "sens(4)"},
 		}

@@ -86,7 +86,7 @@ func (s *Suite) ExtensionSticky() string {
 		}
 		parsed = append(parsed, sc)
 	}
-	stats := search.EvaluateSchemes(parsed, s.CM, s.NamedTraces())
+	stats := s.evaluate("ext/sticky", parsed, s.NamedTraces())
 	t := report.NewTable(
 		"Extension: sticky-spatial prediction (Bilir et al.) vs built-in functions",
 		"Scheme", "SizeLog2", "Sens", "PVP")
@@ -155,8 +155,8 @@ func (s *Suite) ExtensionScaling() string {
 		bench.Run(m, nodes, s.Config.Seed)
 		tr := m.Finish()
 		cm := core.Machine{Nodes: nodes, LineBytes: cfg.LineBytes}
-		stats := search.EvaluateSchemes([]core.Scheme{base}, cm,
-			[]search.NamedTrace{{Name: "em3d", Trace: tr}})
+		stats := search.EvaluateSchemesWorkers([]core.Scheme{base}, cm,
+			[]search.NamedTrace{{Name: "em3d", Trace: tr}}, s.Config.Workers)
 		t.AddRowf(fmt.Sprint(nodes), fmt.Sprint(len(tr.Events)),
 			fmt.Sprintf("%.2f", 100*stats[0].AvgPrevalence()),
 			fmt.Sprintf("%.3f", stats[0].AvgSensitivity()),
@@ -236,9 +236,9 @@ func (s *Suite) ExtensionMESI() string {
 		mesiTrace := m.Finish()
 		grants := m.Stats().Directory.ExclusiveGrants
 
-		msi := search.EvaluateSchemes([]core.Scheme{scheme}, s.CM,
+		msi := s.evaluate("ext/mesi/msi", []core.Scheme{scheme},
 			[]search.NamedTrace{{Name: r.Benchmark.Name(), Trace: r.Trace}})[0]
-		mesi := search.EvaluateSchemes([]core.Scheme{scheme}, s.CM,
+		mesi := s.evaluate("ext/mesi/mesi", []core.Scheme{scheme},
 			[]search.NamedTrace{{Name: r.Benchmark.Name(), Trace: mesiTrace}})[0]
 		t.AddRowf(r.Benchmark.Name(),
 			fmt.Sprint(len(r.Trace.Events)), fmt.Sprint(len(mesiTrace.Events)),
@@ -279,7 +279,7 @@ func (s *Suite) ExtensionLimitedDirectory() string {
 		bench.Run(m, cfg.Nodes, s.Config.Seed)
 		tr := m.Finish()
 		st := m.Stats()
-		stats := search.EvaluateSchemes([]core.Scheme{base}, s.CM,
+		stats := s.evaluate("ext/dirinb", []core.Scheme{base},
 			[]search.NamedTrace{{Name: bench.Name(), Trace: tr}})
 		name := "full-map"
 		if ptrs > 0 {

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cohpredict/internal/core"
+	"cohpredict/internal/workload"
+)
+
+// TestNewSuiteParallelDeterministic: trace generation on a parallel worker
+// pool must produce exactly the traces and statistics of the serial path —
+// each benchmark's simulation is seeded and self-contained, and Runs keeps
+// the workload.All order.
+func TestNewSuiteParallelDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = workload.ScaleTest
+	cfg.Workers = 1
+	serial := NewSuite(cfg)
+	cfg.Workers = 4
+	parallel := NewSuite(cfg)
+	if len(serial.Runs) != len(parallel.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial.Runs), len(parallel.Runs))
+	}
+	for i := range serial.Runs {
+		a, b := serial.Runs[i], parallel.Runs[i]
+		if a.Benchmark.Name() != b.Benchmark.Name() {
+			t.Fatalf("run %d order differs: %s vs %s", i, a.Benchmark.Name(), b.Benchmark.Name())
+		}
+		if !reflect.DeepEqual(a.Trace, b.Trace) {
+			t.Errorf("%s: traces differ between worker counts", a.Benchmark.Name())
+		}
+		if !reflect.DeepEqual(a.Stats, b.Stats) {
+			t.Errorf("%s: machine stats differ between worker counts", a.Benchmark.Name())
+		}
+	}
+}
+
+// TestProgressSerialised: the progress callback must be safe under the
+// parallel suite build (the callback itself appends to a plain slice, which
+// the race detector would flag if calls overlapped).
+func TestProgressSerialised(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = workload.ScaleTest
+	cfg.Workers = 4
+	var lines []string
+	cfg.Progress = func(format string, args ...interface{}) {
+		lines = append(lines, format)
+	}
+	NewSuite(cfg)
+	if len(lines) != 7 {
+		t.Fatalf("progress lines = %d, want 7", len(lines))
+	}
+}
+
+func TestSweepRecordsAndBenchJSON(t *testing.T) {
+	s := suite(t)
+	before := len(s.SweepRecords())
+	if _, err := s.Table(8); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.SweepRecords()
+	if len(recs) <= before && before == 0 {
+		t.Fatal("Table 8 sweep recorded nothing")
+	}
+	var direct *SweepRecord
+	for i := range recs {
+		if recs[i].Label == "sweep/direct" {
+			direct = &recs[i]
+		}
+	}
+	if direct == nil {
+		t.Fatalf("no sweep/direct record in %+v", recs)
+	}
+	if direct.Schemes == 0 || direct.Events == 0 || direct.WallSeconds <= 0 {
+		t.Errorf("degenerate record: %+v", *direct)
+	}
+	if direct.SchemeEventsPerSec <= 0 {
+		t.Errorf("no throughput computed: %+v", *direct)
+	}
+
+	data, err := s.BenchJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []SweepRecord
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("BenchJSON not parseable: %v\n%s", err, data)
+	}
+	if len(parsed) != len(s.SweepRecords()) {
+		t.Errorf("BenchJSON records = %d, want %d", len(parsed), len(s.SweepRecords()))
+	}
+	if !strings.Contains(string(data), "scheme_events_per_sec") {
+		t.Error("BenchJSON missing throughput field")
+	}
+}
+
+// TestSuiteSweepsIdenticalAcrossWorkerCounts: the memoised design-space
+// sweep must be bit-identical between a serial and a parallel suite.
+func TestSuiteSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = workload.ScaleTest
+	cfg.Quick = true
+	cfg.Workers = 1
+	a := NewSuite(cfg)
+	cfg.Workers = 8
+	b := NewSuite(cfg)
+	sa := a.sweep(core.Direct)
+	sb := b.sweep(core.Direct)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("direct sweep differs between workers=1 and workers=8")
+	}
+}

@@ -1,0 +1,25 @@
+package metrics
+
+import "testing"
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil, Confusion.PVP); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	cs := []Confusion{
+		{TP: 8, FP: 2}, // PVP 0.8
+		{TP: 2, FP: 8}, // PVP 0.2
+		{TP: 5, FP: 5}, // PVP 0.5
+	}
+	if got, want := Mean(cs, Confusion.PVP), 0.5; got != want {
+		t.Fatalf("Mean PVP = %v, want %v", got, want)
+	}
+	// Mean averages the statistics, not the pooled counts (the paper's
+	// "arithmetic average over all benchmarks") — visible when the
+	// benchmarks differ in decision counts.
+	uneven := []Confusion{{TP: 9, FP: 1}, {TP: 10, FP: 90}} // PVP 0.9, 0.1
+	pooled := Confusion{TP: 19, FP: 91}
+	if got := Mean(uneven, Confusion.PVP); got != 0.5 || got == pooled.PVP() {
+		t.Fatalf("Mean PVP = %v, want 0.5 (pooled would be %v)", got, pooled.PVP())
+	}
+}

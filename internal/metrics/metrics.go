@@ -124,6 +124,21 @@ func (c Confusion) String() string {
 		c.TP, c.FP, c.TN, c.FN, c.Prevalence(), c.Sensitivity(), c.PVP())
 }
 
+// Mean returns the arithmetic mean of stat over the confusions — the
+// paper's "arithmetic average over all benchmarks" (averaging the
+// statistics, not pooling the counts), shared by every cross-benchmark
+// summary in the module. An empty slice yields 0.
+func Mean(cs []Confusion, stat func(Confusion) float64) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, c := range cs {
+		t += stat(c)
+	}
+	return t / float64(len(cs))
+}
+
 // Precision bounds (Gastwirth 1987). With low prevalence, the sampling error
 // of PVP estimates grows: a small absolute error in the false-positive rate
 // swamps the few true positives. StdErrPVP returns the standard error of the

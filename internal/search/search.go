@@ -3,15 +3,22 @@
 // (§5.4). Schemes are grouped by (index spec, update mode): all last/union/
 // inter schemes over the same index share one history table (a depth-4
 // window serves every depth), and each event's index keys are computed once
-// per group. The results are bit-identical to evaluating each scheme alone
-// with eval.Engine, which a cross-check test asserts.
+// per index spec per trace (eval.MemoKeys) and shared by every group on
+// that index. Evaluation fans out over the (trace × index) grid on a
+// bounded worker pool: every cell of the grid owns independent predictor
+// state and a disjoint set of result cells, so the merged []Stats is
+// bit-identical whatever the worker count or scheduling — a cross-check
+// test asserts equality with the serial path and with eval.Engine.
 package search
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"cohpredict/internal/bitmap"
 	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
 	"cohpredict/internal/metrics"
 	"cohpredict/internal/trace"
 )
@@ -32,14 +39,7 @@ type Stats struct {
 }
 
 func (s Stats) avg(f func(metrics.Confusion) float64) float64 {
-	if len(s.PerBench) == 0 {
-		return 0
-	}
-	var t float64
-	for _, c := range s.PerBench {
-		t += f(c)
-	}
-	return t / float64(len(s.PerBench))
+	return metrics.Mean(s.PerBench, f)
 }
 
 // AvgPrevalence is the cross-benchmark mean prevalence.
@@ -57,10 +57,12 @@ func (s Stats) AvgPVP() float64 {
 	return s.avg(metrics.Confusion.PVP)
 }
 
-// group is a set of schemes sharing index spec and update mode (and hence
-// predictor state where the function family allows).
-type group struct {
-	index  core.IndexSpec
+// groupPlan is the trace-independent classification of the schemes sharing
+// one (index spec, update mode): which schemes read the shared history
+// window, which own per-depth PAs tables, and which share a sticky table.
+// Plans are built once per sweep and instantiated afresh (groupState) for
+// every trace, so predictor state still resets per trace.
+type groupPlan struct {
 	update core.UpdateMode
 
 	// histSchemes are last/union/inter schemes sharing the history
@@ -70,53 +72,184 @@ type group struct {
 	pasSchemes    []int
 	stickySchemes []int
 
-	// hist holds the shared last/union/inter history entries. Small
-	// indexes use a flat slice (hot-path lookups avoid map hashing);
-	// larger ones fall back to a map.
-	hist      map[uint64]*core.HistoryEntry
-	histSlice []*core.HistoryEntry
-	pas       map[int]map[uint64]*core.PASEntry // depth → table
-	sticky    core.Table
+	pasDepths    []int       // distinct PAs depths, ascending
+	stickyScheme core.Scheme // template for the shared sticky table
+}
+
+// indexPlan bundles the groups that share one index spec — the unit of
+// key memoization and of parallel work (one task per trace × indexPlan).
+type indexPlan struct {
+	index core.IndexSpec
+	// sliceBits is the index width when the history table fits the flat
+	// slice representation, or -1 for the map fallback.
+	sliceBits int
+	// needsPrev reports whether forwarded update on this index requires
+	// the previous writer's key (the index reads pid or pc).
+	needsPrev bool
+	// wantsPrev reports whether any group of this index is forwarded —
+	// only then are previous-writer keys memoized.
+	wantsPrev bool
+	groups    []*groupPlan
 }
 
 // maxSliceBits bounds the flat-slice representation: 2^14 pointers per
 // group is 128 KiB, small enough to allocate for every group of a sweep.
 const maxSliceBits = 14
 
-func (g *group) histEntry(key uint64) *core.HistoryEntry {
-	if g.histSlice != nil {
-		return g.histSlice[key]
+// buildPlans classifies the schemes once — group membership is
+// trace-independent, so the classification is hoisted out of the per-trace
+// loop and shared by every worker.
+func buildPlans(schemes []core.Scheme, m core.Machine) []*indexPlan {
+	byIndex := make(map[core.IndexSpec]*indexPlan)
+	var plans []*indexPlan
+	type groupKey struct {
+		index  core.IndexSpec
+		update core.UpdateMode
 	}
-	return g.hist[key]
+	byGroup := make(map[groupKey]*groupPlan)
+	for i, s := range schemes {
+		ip, ok := byIndex[s.Index]
+		if !ok {
+			ip = &indexPlan{index: s.Index, sliceBits: -1}
+			if bits := s.Index.Bits(m); bits <= maxSliceBits {
+				ip.sliceBits = bits
+			}
+			ip.needsPrev = s.Index.UsePID || s.Index.PCBits > 0
+			byIndex[s.Index] = ip
+			plans = append(plans, ip)
+		}
+		gk := groupKey{s.Index, s.Update}
+		g, ok := byGroup[gk]
+		if !ok {
+			g = &groupPlan{update: s.Update}
+			byGroup[gk] = g
+			ip.groups = append(ip.groups, g)
+			if s.Update == core.Forwarded {
+				ip.wantsPrev = true
+			}
+		}
+		switch s.Fn {
+		case core.PAs:
+			g.pasSchemes = append(g.pasSchemes, i)
+			if !containsInt(g.pasDepths, s.Depth) {
+				g.pasDepths = append(g.pasDepths, s.Depth)
+				sort.Ints(g.pasDepths)
+			}
+		case core.Sticky:
+			if len(g.stickySchemes) == 0 {
+				g.stickyScheme = s
+			}
+			g.stickySchemes = append(g.stickySchemes, i)
+		default:
+			g.histSchemes = append(g.histSchemes, i)
+		}
+	}
+	return plans
 }
 
-func (g *group) histTrain(key uint64, feedback bitmap.Bitmap) {
-	if g.histSlice != nil {
-		e := g.histSlice[key]
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// entryArena hands out HistoryEntry pointers from chunked backing arrays,
+// replacing the per-entry allocation that dominated GC pressure on
+// multi-million-event sweeps. Arenas are per-groupState and never shared
+// across goroutines.
+type entryArena struct {
+	chunk []core.HistoryEntry
+}
+
+const arenaChunk = 1024
+
+func (a *entryArena) new() *core.HistoryEntry {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]core.HistoryEntry, arenaChunk)
+	}
+	e := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	return e
+}
+
+// groupState is one group's predictor state for one trace: the mutable
+// realisation of a groupPlan, owned by exactly one worker at a time.
+type groupState struct {
+	plan *groupPlan
+	ip   *indexPlan
+
+	// hist holds the shared last/union/inter history entries. Small
+	// indexes use a flat slice (hot-path lookups avoid map hashing);
+	// larger ones fall back to a map.
+	hist      map[uint64]*core.HistoryEntry
+	histSlice []*core.HistoryEntry
+	arena     entryArena
+	pas       map[int]map[uint64]*core.PASEntry // depth → table
+	sticky    core.Table
+}
+
+func newGroupState(ip *indexPlan, g *groupPlan, m core.Machine) *groupState {
+	gs := &groupState{plan: g, ip: ip}
+	if len(g.histSchemes) > 0 {
+		if ip.sliceBits >= 0 {
+			gs.histSlice = make([]*core.HistoryEntry, 1<<uint(ip.sliceBits))
+		} else {
+			gs.hist = make(map[uint64]*core.HistoryEntry)
+		}
+	}
+	if len(g.pasDepths) > 0 {
+		gs.pas = make(map[int]map[uint64]*core.PASEntry, len(g.pasDepths))
+		for _, d := range g.pasDepths {
+			gs.pas[d] = make(map[uint64]*core.PASEntry)
+		}
+	}
+	if len(g.stickySchemes) > 0 {
+		gs.sticky = core.NewTable(g.stickyScheme, m)
+	}
+	return gs
+}
+
+func (gs *groupState) histEntry(key uint64) *core.HistoryEntry {
+	if gs.histSlice != nil {
+		return gs.histSlice[key]
+	}
+	return gs.hist[key]
+}
+
+func (gs *groupState) histTrain(key uint64, feedback bitmap.Bitmap) {
+	if gs.histSlice != nil {
+		e := gs.histSlice[key]
 		if e == nil {
-			e = &core.HistoryEntry{}
-			g.histSlice[key] = e
+			e = gs.arena.new()
+			gs.histSlice[key] = e
 		}
 		e.Push(feedback)
 		return
 	}
-	e := g.hist[key]
+	e := gs.hist[key]
 	if e == nil {
-		e = &core.HistoryEntry{}
-		g.hist[key] = e
+		e = gs.arena.new()
+		gs.hist[key] = e
 	}
 	e.Push(feedback)
 }
 
-type groupKey struct {
-	index  core.IndexSpec
-	update core.UpdateMode
+// EvaluateSchemes evaluates every scheme over every trace and returns stats
+// in the same order as the input schemes, using one worker per available
+// CPU. Invalid schemes panic (the space builders only produce valid ones).
+func EvaluateSchemes(schemes []core.Scheme, m core.Machine, traces []NamedTrace) []Stats {
+	return EvaluateSchemesWorkers(schemes, m, traces, 0)
 }
 
-// EvaluateSchemes evaluates every scheme over every trace and returns stats
-// in the same order as the input schemes. Invalid schemes panic (the space
-// builders only produce valid ones).
-func EvaluateSchemes(schemes []core.Scheme, m core.Machine, traces []NamedTrace) []Stats {
+// EvaluateSchemesWorkers is EvaluateSchemes with a bounded worker pool.
+// workers <= 0 selects runtime.GOMAXPROCS(0). The result is bit-identical
+// for every worker count: work fans out over the (trace × index) grid,
+// every cell owns independent predictor state, and each scheme's
+// (benchmark) result cell is written by exactly one task.
+func EvaluateSchemesWorkers(schemes []core.Scheme, m core.Machine, traces []NamedTrace, workers int) []Stats {
 	stats := make([]Stats, len(schemes))
 	names := make([]string, len(traces))
 	for i, nt := range traces {
@@ -133,59 +266,86 @@ func EvaluateSchemes(schemes []core.Scheme, m core.Machine, traces []NamedTrace)
 			PerBench: make([]metrics.Confusion, len(traces)),
 		}
 	}
-	for ti, nt := range traces {
-		groups := buildGroups(schemes, m)
-		for _, ev := range nt.Trace.Events {
-			for _, g := range groups {
-				g.step(schemes, stats, ti, ev, m)
-			}
+	plans := buildPlans(schemes, m)
+
+	type task struct {
+		ti int
+		ip *indexPlan
+	}
+	tasks := make([]task, 0, len(traces)*len(plans))
+	for ti := range traces {
+		for _, ip := range plans {
+			tasks = append(tasks, task{ti, ip})
 		}
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	run := func(t task) {
+		runIndexTrace(t.ip, schemes, stats, t.ti, traces[t.ti].Trace, m)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			run(t)
+		}
+		return stats
+	}
+	ch := make(chan task)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				run(t)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
 	return stats
 }
 
-func buildGroups(schemes []core.Scheme, m core.Machine) []*group {
-	byKey := make(map[groupKey]*group)
-	var order []*group
-	for i, s := range schemes {
-		k := groupKey{s.Index, s.Update}
-		g, ok := byKey[k]
-		if !ok {
-			g = &group{
-				index:  s.Index,
-				update: s.Update,
-				pas:    make(map[int]map[uint64]*core.PASEntry),
+// runIndexTrace evaluates every group of one index plan over one trace:
+// the event keys are memoized once and shared by all the index's groups,
+// and the groups' confusion tallies land in the task-local conf slice
+// (groups of one index cover disjoint schemes) before the single write
+// into the shared stats.
+func runIndexTrace(ip *indexPlan, schemes []core.Scheme, stats []Stats, ti int, tr *trace.Trace, m core.Machine) {
+	km := eval.MemoKeys(ip.index, tr.Events, m, ip.wantsPrev && ip.needsPrev)
+	conf := make([]metrics.Confusion, len(schemes))
+	for _, g := range ip.groups {
+		gs := newGroupState(ip, g, m)
+		events := tr.Events
+		for i := range events {
+			var prevKey uint64
+			if km.Prev != nil {
+				prevKey = km.Prev[i]
 			}
-			if bits := s.Index.Bits(m); bits <= maxSliceBits {
-				g.histSlice = make([]*core.HistoryEntry, 1<<uint(bits))
-			} else {
-				g.hist = make(map[uint64]*core.HistoryEntry)
-			}
-			byKey[k] = g
-			order = append(order, g)
+			gs.step(schemes, conf, &events[i], km.Cur[i], prevKey, m)
 		}
-		switch s.Fn {
-		case core.PAs:
-			g.pasSchemes = append(g.pasSchemes, i)
-			if g.pas[s.Depth] == nil {
-				g.pas[s.Depth] = make(map[uint64]*core.PASEntry)
-			}
-		case core.Sticky:
-			g.stickySchemes = append(g.stickySchemes, i)
-			if g.sticky == nil {
-				g.sticky = core.NewTable(s, m)
-			}
-		default:
-			g.histSchemes = append(g.histSchemes, i)
+		for _, si := range g.histSchemes {
+			stats[si].PerBench[ti] = conf[si]
+		}
+		for _, si := range g.pasSchemes {
+			stats[si].PerBench[ti] = conf[si]
+		}
+		for _, si := range g.stickySchemes {
+			stats[si].PerBench[ti] = conf[si]
 		}
 	}
-	return order
 }
 
 // step processes one event for the group, mirroring eval.Engine.Step.
-func (g *group) step(schemes []core.Scheme, stats []Stats, ti int, ev trace.Event, m core.Machine) {
-	curKey := g.index.Key(ev.PID, ev.PC, ev.Dir, ev.Addr, m)
-
+func (gs *groupState) step(schemes []core.Scheme, conf []metrics.Confusion, ev *trace.Event, curKey, prevKey uint64, m core.Machine) {
+	g := gs.plan
 	var trainKey uint64
 	train := false
 	switch g.update {
@@ -194,12 +354,13 @@ func (g *group) step(schemes []core.Scheme, stats []Stats, ti int, ev trace.Even
 			trainKey, train = curKey, true
 		}
 	case core.Forwarded:
-		needsPrev := g.index.UsePID || g.index.PCBits > 0
 		switch {
 		case ev.HasPrev:
-			trainKey = g.index.Key(ev.PrevPID, ev.PrevPC, ev.Dir, ev.Addr, m)
-			train = true
-		case !needsPrev && !ev.InvReaders.IsEmpty():
+			trainKey, train = curKey, true
+			if gs.ip.needsPrev {
+				trainKey = prevKey
+			}
+		case !gs.ip.needsPrev && !ev.InvReaders.IsEmpty():
 			trainKey, train = curKey, true
 		}
 	case core.Ordered:
@@ -209,13 +370,13 @@ func (g *group) step(schemes []core.Scheme, stats []Stats, ti int, ev trace.Even
 
 	feedback := ev.InvReaders
 	if g.update != core.Ordered && train {
-		if g.sticky != nil {
-			g.sticky.Train(trainKey, feedback)
+		if gs.sticky != nil {
+			gs.sticky.Train(trainKey, feedback)
 		}
 		if len(g.histSchemes) > 0 {
-			g.histTrain(trainKey, feedback)
+			gs.histTrain(trainKey, feedback)
 		}
-		for depth, table := range g.pas {
+		for depth, table := range gs.pas {
 			e := table[trainKey]
 			if e == nil {
 				e = core.NewPASEntry(m.Nodes, depth)
@@ -226,40 +387,40 @@ func (g *group) step(schemes []core.Scheme, stats []Stats, ti int, ev trace.Even
 	}
 
 	// Predict and score every scheme in the group.
-	histEntry := g.histEntry(curKey)
+	histEntry := gs.histEntry(curKey)
 	for _, si := range g.histSchemes {
-		s := schemes[si]
+		s := &schemes[si]
 		var pred bitmap.Bitmap
 		if histEntry != nil {
 			pred = histEntry.Predict(s.Fn, s.Depth)
 		}
 		pred = pred.Clear(ev.PID)
-		stats[si].PerBench[ti].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
+		conf[si].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
 	}
 	for _, si := range g.pasSchemes {
-		s := schemes[si]
+		s := &schemes[si]
 		var pred bitmap.Bitmap
-		if e := g.pas[s.Depth][curKey]; e != nil {
+		if e := gs.pas[s.Depth][curKey]; e != nil {
 			pred = e.Predict()
 		}
 		pred = pred.Clear(ev.PID)
-		stats[si].PerBench[ti].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
+		conf[si].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
 	}
-	if g.sticky != nil {
-		pred := g.sticky.Predict(curKey).Clear(ev.PID)
+	if gs.sticky != nil {
+		pred := gs.sticky.Predict(curKey).Clear(ev.PID)
 		for _, si := range g.stickySchemes {
-			stats[si].PerBench[ti].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
+			conf[si].AddBitmaps(pred, ev.FutureReaders, m.Nodes)
 		}
 	}
 
 	if g.update == core.Ordered {
-		if g.sticky != nil {
-			g.sticky.Train(curKey, ev.FutureReaders)
+		if gs.sticky != nil {
+			gs.sticky.Train(curKey, ev.FutureReaders)
 		}
 		if len(g.histSchemes) > 0 {
-			g.histTrain(curKey, ev.FutureReaders)
+			gs.histTrain(curKey, ev.FutureReaders)
 		}
-		for depth, table := range g.pas {
+		for depth, table := range gs.pas {
 			e := table[curKey]
 			if e == nil {
 				e = core.NewPASEntry(m.Nodes, depth)
