@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet test race bench build
+.PHONY: check vet test race bench build obs-demo
 
 check: vet race
 
@@ -27,3 +27,8 @@ bench:
 # Full benchmark suite: every table, figure, ablation and hot path.
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Quick observability demo: run the sweep probe at test scale, write a
+# metrics snapshot to obs.json and print the span tree (stderr).
+obs-demo:
+	$(GO) run ./cmd/predsim -scale test -quick -obs obs.json

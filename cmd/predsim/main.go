@@ -16,9 +16,14 @@
 //	predsim -extensions          # the seven extension studies
 //	predsim -all -workers 4      # bound the worker pool (0 = all CPUs)
 //	predsim -quick -benchjson b.json   # machine-readable sweep perf records
+//	predsim -quick -obs obs.json       # metrics snapshot + span tree (stderr)
+//	predsim -all -prom metrics.txt     # Prometheus text-format metrics
+//	predsim -all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	predsim -version                   # build identity (module, VCS rev)
 //
 // Simulation and sweeps run on a bounded worker pool; output is
-// byte-identical for every -workers value.
+// byte-identical for every -workers value — with or without the
+// observability flags, whose data goes to files and stderr only.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"cohpredict/internal/core"
 	"cohpredict/internal/experiments"
 	"cohpredict/internal/machine"
+	"cohpredict/internal/obs"
 	"cohpredict/internal/report"
 	"cohpredict/internal/trace"
 	"cohpredict/internal/workload"
@@ -65,9 +71,26 @@ func run() error {
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		workers  = flag.Int("workers", 0, "worker pool size for simulation and sweeps (0 = all CPUs); results are identical for any value")
 		benchOut = flag.String("benchjson", "", "write machine-readable sweep perf records (wall time, events/sec) to this JSON file")
-		verbose  = flag.Bool("v", false, "print progress")
+		verbose  = flag.Bool("v", false, "print progress and per-evaluation debug lines")
+		obsOut   = flag.String("obs", "", "write the observability snapshot (manifest, counters, gauges, histograms, spans) to this JSON file and print the span tree to stderr")
+		promOut  = flag.String("prom", "", "write metrics in Prometheus text format to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		version  = flag.Bool("version", false, "print version and build identity, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("predsim", obs.Version())
+		return nil
+	}
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 
 	scale, err := parseScale(*scaleS)
 	if err != nil {
@@ -89,6 +112,7 @@ func run() error {
 		cfg.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "predsim: "+format+"\n", args...)
 		}
+		cfg.LogLevel = obs.Debug
 	}
 
 	if *benchS != "" {
@@ -221,9 +245,9 @@ func run() error {
 		}
 		did = true
 	}
-	if *benchOut != "" {
+	if *benchOut != "" || *obsOut != "" || *promOut != "" {
 		// With no other artifact requested, run the Tables 8/9 sweep
-		// workload so the flag works as a self-contained perf probe.
+		// workload so these flags work as self-contained perf probes.
 		if len(suite.SweepRecords()) == 0 {
 			for _, n := range []int{8, 9} {
 				if _, err := suite.Table(n); err != nil {
@@ -231,6 +255,8 @@ func run() error {
 				}
 			}
 		}
+	}
+	if *benchOut != "" {
 		data, err := suite.BenchJSON()
 		if err != nil {
 			return err
@@ -239,6 +265,43 @@ func run() error {
 			return err
 		}
 		fmt.Println("wrote", *benchOut)
+		did = true
+	}
+	// Observability exports come last so the snapshot covers every phase
+	// above. The span tree goes to stderr: stdout carries only tables and
+	// figures, which stay byte-identical whatever the timings.
+	if *obsOut != "" {
+		data, err := suite.Obs().SnapshotJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*obsOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *obsOut)
+		fmt.Fprint(os.Stderr, suite.Obs().SpanTree())
+		did = true
+	}
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
+		if err != nil {
+			return err
+		}
+		err = suite.Obs().WritePrometheus(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", *promOut)
+		did = true
+	}
+	if *memProf != "" {
+		if err := obs.WriteHeapProfile(*memProf); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *memProf)
 		did = true
 	}
 	if !did && *saveDir == "" {

@@ -15,13 +15,19 @@ import (
 	"os"
 	"sort"
 
+	"cohpredict/internal/obs"
 	"cohpredict/internal/report"
 	"cohpredict/internal/trace"
 )
 
 func main() {
 	topN := flag.Int("top", 12, "show the N busiest store sites")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("traceinfo", obs.Version())
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: traceinfo [-top N] <trace-file>...")
 		os.Exit(2)

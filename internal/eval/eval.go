@@ -20,12 +20,32 @@ package eval
 
 import (
 	"fmt"
+	"sync"
 
 	"cohpredict/internal/bitmap"
 	"cohpredict/internal/core"
 	"cohpredict/internal/metrics"
+	"cohpredict/internal/obs"
 	"cohpredict/internal/trace"
 )
+
+// Engine metrics live in the default obs registry; the handles are
+// resolved once per process and shared by every engine (atomic adds only
+// on the step path).
+var (
+	engineObsOnce   sync.Once
+	enginePredTotal *obs.Counter // eval_predictions_total: Step calls
+	engineConfTotal *obs.Counter // eval_confusion_updates_total: per-node decisions scored
+)
+
+func engineCounters() (pred, conf *obs.Counter) {
+	engineObsOnce.Do(func() {
+		r := obs.Default()
+		enginePredTotal = r.Counter("eval_predictions_total")
+		engineConfTotal = r.Counter("eval_confusion_updates_total")
+	})
+	return enginePredTotal, engineConfTotal
+}
 
 // Engine evaluates a single scheme over an event stream.
 type Engine struct {
@@ -34,6 +54,9 @@ type Engine struct {
 	table   core.Table
 	conf    metrics.Confusion
 	events  uint64
+
+	predCtr *obs.Counter
+	confCtr *obs.Counter
 }
 
 // NewEngine returns an engine for the scheme on the given machine. It
@@ -42,7 +65,9 @@ func NewEngine(s core.Scheme, m core.Machine) *Engine {
 	if err := s.Validate(); err != nil {
 		panic(err)
 	}
-	return &Engine{scheme: s, machine: m, table: core.NewTable(s, m)}
+	e := &Engine{scheme: s, machine: m, table: core.NewTable(s, m)}
+	e.predCtr, e.confCtr = engineCounters()
+	return e
 }
 
 // Scheme returns the scheme under evaluation.
@@ -86,6 +111,8 @@ func (e *Engine) Step(ev trace.Event) bitmap.Bitmap {
 	pred = pred.Clear(ev.PID)
 	e.conf.AddBitmaps(pred, ev.FutureReaders, e.machine.Nodes)
 	e.events++
+	e.predCtr.Add(1)
+	e.confCtr.Add(int64(e.machine.Nodes))
 	return pred
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cohpredict/internal/core"
+	"cohpredict/internal/obs"
 	"cohpredict/internal/search"
 )
 
@@ -29,6 +30,22 @@ type SweepRecord struct {
 	// Events × Schemes / WallSeconds — the engine's effective scan rate.
 	WallSeconds        float64 `json:"wall_seconds"`
 	SchemeEventsPerSec float64 `json:"scheme_events_per_sec"`
+
+	// Run identity, so BENCH_*.json trajectories are self-describing and
+	// comparable across machines and commits.
+	Seed   int64  `json:"seed"`
+	Scale  string `json:"scale"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// StartedAt is the evaluation start time in RFC3339 (UTC).
+	StartedAt string `json:"started_at"`
+}
+
+// BenchReport is the -benchjson document: the run manifest plus every
+// sweep record accumulated by the suite, in evaluation order.
+type BenchReport struct {
+	Manifest obs.Manifest  `json:"manifest"`
+	Records  []SweepRecord `json:"records"`
 }
 
 // Evaluate runs the batch evaluator over the suite's traces on the
@@ -38,16 +55,21 @@ func (s *Suite) Evaluate(label string, schemes []core.Scheme) []search.Stats {
 	return s.evaluate(label, schemes, s.NamedTraces())
 }
 
-// evaluate runs the batch evaluator on the suite's worker pool and records
+// evaluate runs the batch evaluator on the suite's worker pool inside an
+// "eval" span (nested under whichever artifact span is open) and records
 // a SweepRecord for the run.
 func (s *Suite) evaluate(label string, schemes []core.Scheme, traces []search.NamedTrace) []search.Stats {
+	defer s.span("eval")()
 	start := time.Now()
-	stats := search.EvaluateSchemesWorkers(schemes, s.CM, traces, s.Config.Workers)
-	s.record(label, schemes, traces, time.Since(start))
+	stats := search.EvaluateSchemesObserved(schemes, s.CM, traces, s.Config.Workers, s.obs)
+	wall := time.Since(start)
+	s.record(label, schemes, traces, start, wall)
+	s.log.Debugf("evaluated %s: %d schemes x %d traces in %v",
+		label, len(schemes), len(traces), wall.Round(time.Millisecond))
 	return stats
 }
 
-func (s *Suite) record(label string, schemes []core.Scheme, traces []search.NamedTrace, wall time.Duration) {
+func (s *Suite) record(label string, schemes []core.Scheme, traces []search.NamedTrace, start time.Time, wall time.Duration) {
 	var events int64
 	for _, nt := range traces {
 		events += int64(len(nt.Trace.Events))
@@ -59,6 +81,11 @@ func (s *Suite) record(label string, schemes []core.Scheme, traces []search.Name
 		Events:      events,
 		Workers:     s.Config.Workers,
 		WallSeconds: wall.Seconds(),
+		Seed:        s.Config.Seed,
+		Scale:       s.Config.Scale.String(),
+		GOOS:        s.manifest.GOOS,
+		GOARCH:      s.manifest.GOARCH,
+		StartedAt:   start.UTC().Format(time.RFC3339),
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		rec.SchemeEventsPerSec = float64(events) * float64(len(schemes)) / secs
@@ -76,12 +103,12 @@ func (s *Suite) SweepRecords() []SweepRecord {
 	return append([]SweepRecord(nil), s.benchRecs...)
 }
 
-// BenchJSON marshals the accumulated sweep records as indented JSON, ready
-// for predsim -benchjson.
+// BenchJSON marshals the run manifest and the accumulated sweep records
+// as indented JSON, ready for predsim -benchjson.
 func (s *Suite) BenchJSON() ([]byte, error) {
 	recs := s.SweepRecords()
 	if recs == nil {
 		recs = []SweepRecord{}
 	}
-	return json.MarshalIndent(recs, "", "  ")
+	return json.MarshalIndent(BenchReport{Manifest: s.manifest, Records: recs}, "", "  ")
 }

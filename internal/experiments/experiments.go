@@ -13,6 +13,7 @@ import (
 
 	"cohpredict/internal/core"
 	"cohpredict/internal/machine"
+	"cohpredict/internal/obs"
 	"cohpredict/internal/report"
 	"cohpredict/internal/search"
 	"cohpredict/internal/trace"
@@ -33,6 +34,15 @@ type Config struct {
 	// Progress, if non-nil, receives status lines while long steps run.
 	// It may be called from several workers; calls are serialised.
 	Progress func(format string, args ...interface{})
+	// LogLevel filters Progress output (obs.Quiet/Info/Debug). The zero
+	// value with a non-nil Progress behaves as obs.Info, preserving the
+	// historical progress stream; obs.Debug adds per-evaluation lines.
+	LogLevel obs.Level
+	// Obs receives the suite's metrics, spans and run manifest; nil
+	// selects the shared obs.Default() registry. Observability never
+	// perturbs results: tables and figures are byte-identical with any
+	// registry and any worker count.
+	Obs *obs.Registry
 }
 
 // workerCount resolves the configured pool size, capped at limit.
@@ -71,9 +81,61 @@ type Suite struct {
 
 	sweeps map[core.UpdateMode][]search.Stats
 
-	progressMu sync.Mutex
-	benchMu    sync.Mutex
-	benchRecs  []SweepRecord
+	obs      *obs.Registry
+	log      *obs.Logger
+	manifest obs.Manifest
+
+	// spanMu guards the current span parent path; suite artifacts are
+	// orchestrated from one goroutine, so nested spans (a sweep inside a
+	// table) stack onto their parent's path.
+	spanMu     sync.Mutex
+	spanParent string
+
+	benchMu   sync.Mutex
+	benchRecs []SweepRecord
+}
+
+// initObs resolves the suite's registry and logger from its config and
+// stamps the run manifest.
+func (s *Suite) initObs() {
+	s.obs = s.Config.Obs
+	if s.obs == nil {
+		s.obs = obs.Default()
+	}
+	level := s.Config.LogLevel
+	if level == obs.Quiet && s.Config.Progress != nil {
+		level = obs.Info
+	}
+	s.log = obs.NewLogger(level, s.Config.Progress)
+	s.manifest = obs.NewManifest(s.Config.Seed, s.Config.Scale.String(), s.Config.Workers)
+	s.obs.SetManifest(s.manifest)
+}
+
+// Obs returns the registry receiving the suite's metrics and spans.
+func (s *Suite) Obs() *obs.Registry { return s.obs }
+
+// Manifest returns the run-identity manifest stamped when the suite was
+// created.
+func (s *Suite) Manifest() obs.Manifest { return s.manifest }
+
+// span starts a timed span nested under the currently open suite span
+// (if any) and returns its end function.
+func (s *Suite) span(name string) func() {
+	s.spanMu.Lock()
+	parent := s.spanParent
+	full := name
+	if parent != "" {
+		full = parent + "/" + name
+	}
+	s.spanParent = full
+	s.spanMu.Unlock()
+	done := s.obs.Span(full)
+	return func() {
+		done()
+		s.spanMu.Lock()
+		s.spanParent = parent
+		s.spanMu.Unlock()
+	}
 }
 
 // NewSuite runs every benchmark through the simulator and returns the
@@ -86,6 +148,8 @@ func NewSuite(cfg Config) *Suite {
 		CM:     core.Machine{Nodes: cfg.Machine.Nodes, LineBytes: cfg.Machine.LineBytes},
 		sweeps: make(map[core.UpdateMode][]search.Stats),
 	}
+	s.initObs()
+	defer s.span("generate")()
 	benches := workload.All(cfg.Scale)
 	runs := make([]BenchRun, len(benches))
 	workers := cfg.workerCount(len(benches))
@@ -118,20 +182,21 @@ func NewSuite(cfg Config) *Suite {
 // (e.g. traces loaded from disk); machine statistics may be zero in that
 // case, which only affects Tables 4 and 5.
 func NewSuiteFromRuns(cfg Config, runs []BenchRun) *Suite {
-	return &Suite{
+	s := &Suite{
 		Config: cfg,
 		CM:     core.Machine{Nodes: cfg.Machine.Nodes, LineBytes: cfg.Machine.LineBytes},
 		Runs:   runs,
 		sweeps: make(map[core.UpdateMode][]search.Stats),
 	}
+	s.initObs()
+	return s
 }
 
+// progress emits an info-level status line through the suite's leveled
+// logger (which serialises sink calls, so Config.Progress may touch
+// unguarded state).
 func (s *Suite) progress(format string, args ...interface{}) {
-	if s.Config.Progress != nil {
-		s.progressMu.Lock()
-		s.Config.Progress(format, args...)
-		s.progressMu.Unlock()
-	}
+	s.log.Infof(format, args...)
 }
 
 // NamedTraces adapts the suite for the search package.
@@ -145,8 +210,12 @@ func (s *Suite) NamedTraces() []search.NamedTrace {
 
 // Table renders the paper table with the given number (1–11). Tables 1
 // and 2 are structural (the taxonomy's indexing families and the metric
-// definitions); 3–11 are measured.
+// definitions); 3–11 are measured. Each render is wrapped in a
+// "table/N" span; sweeps run inside nest under it.
 func (s *Suite) Table(n int) (string, error) {
+	if n >= 1 && n <= 11 {
+		defer s.span(fmt.Sprintf("table/%d", n))()
+	}
 	switch n {
 	case 1:
 		return s.table1(), nil
@@ -237,8 +306,12 @@ type FigurePanel struct {
 	Series []report.Series
 }
 
-// Figure renders the paper figure with the given number (6–9).
+// Figure renders the paper figure with the given number (6–9), wrapped
+// in a "figure/N" span.
 func (s *Suite) Figure(n int) (string, error) {
+	if n >= 6 && n <= 9 {
+		defer s.span(fmt.Sprintf("figure/%d", n))()
+	}
 	title, panels, err := s.figurePanels(n)
 	if err != nil {
 		return "", err
@@ -275,6 +348,7 @@ func (s *Suite) FigureDetail(n int, bench string) (string, error) {
 // FigureCSV returns the figure's data as CSV, one file per panel, keyed by
 // a filesystem-friendly name like "figure6_direct.csv".
 func (s *Suite) FigureCSV(n int) (map[string]string, error) {
+	defer s.span(fmt.Sprintf("figure-csv/%d", n))()
 	_, panels, err := s.figurePanels(n)
 	if err != nil {
 		return nil, err
@@ -290,6 +364,7 @@ func (s *Suite) FigureCSV(n int) (map[string]string, error) {
 // FigureSVG returns the figure as standalone SVG charts, one file per
 // panel, keyed like "figure6_direct_update.svg".
 func (s *Suite) FigureSVG(n int) (map[string]string, error) {
+	defer s.span(fmt.Sprintf("figure-svg/%d", n))()
 	title, panels, err := s.figurePanels(n)
 	if err != nil {
 		return nil, err
@@ -437,6 +512,7 @@ func (s *Suite) sweep(mode core.UpdateMode) []search.Stats {
 	if st, ok := s.sweeps[mode]; ok {
 		return st
 	}
+	defer s.span(fmt.Sprintf("sweep-%v", mode))()
 	sp := search.DefaultSpace(mode)
 	if s.Config.Quick {
 		sp = search.QuickSpace(mode)

@@ -20,6 +20,7 @@ import (
 // evaluate prediction accuracy, and bit cost per scheme") as a single
 // artifact: it shows where additional bits stop paying.
 func (s *Suite) Pareto(mode core.UpdateMode) string {
+	defer s.span("pareto")()
 	stats := s.sweep(mode)
 	type best struct {
 		pvp, sens             float64
@@ -71,6 +72,7 @@ func (s *Suite) Pareto(mode core.UpdateMode) string {
 // by the paper's footnote 2) against the built-in functions at matched
 // index widths.
 func (s *Suite) ExtensionSticky() string {
+	defer s.span("ext/sticky")()
 	schemes := []string{
 		"sticky(dir+add8)1",
 		"last(dir+add8)1",
@@ -102,6 +104,7 @@ func (s *Suite) ExtensionSticky() string {
 // quickly the predictors warm up — context for interpreting the absolute
 // numbers of the small-scale tables.
 func (s *Suite) ExtensionLearning() string {
+	defer s.span("ext/learning")()
 	run := s.Runs[0]
 	windows := 8
 	size := len(run.Trace.Events) / windows
@@ -140,6 +143,7 @@ func (s *Suite) ExtensionLearning() string {
 // size — the scalability question the paper's fixed 16-node study leaves
 // open.
 func (s *Suite) ExtensionScaling() string {
+	defer s.span("ext/scaling")()
 	t := report.NewTable(
 		"Extension: machine-size scaling (em3d)",
 		"Nodes", "Events", "Prevalence(%)", "BaselineSens", "BaselinePVP")
@@ -171,6 +175,7 @@ func (s *Suite) ExtensionScaling() string {
 // timing effects the offline estimator cannot see. The online yield of a
 // scheme is bounded above by its offline PVP; the gap is pure timing loss.
 func (s *Suite) ExtensionOnlineForwarding() string {
+	defer s.span("ext/online-forwarding")()
 	t := report.NewTable(
 		"Extension: online forwarding co-simulation (em3d, union(dir+add8)2)",
 		"HopTicks", "OnTime", "Late", "Early", "Unserved", "EffYield", "EffCoverage")
@@ -199,6 +204,7 @@ func (s *Suite) ExtensionOnlineForwarding() string {
 // depth-1/2 gain over depth 0 measures how much *pattern* the ownership
 // stream carries — the migratory analogue of the reader-set study.
 func (s *Suite) ExtensionCosmos() string {
+	defer s.span("ext/cosmos")()
 	t := report.NewTable(
 		"Extension: Cosmos-style next-writer prediction (accuracy/coverage per history depth)",
 		"Benchmark", "depth 0", "depth 1", "depth 2")
@@ -220,6 +226,7 @@ func (s *Suite) ExtensionCosmos() string {
 // information the E state hides (silent epochs are attributed to the
 // granting *load*, diluting pc-indexed history).
 func (s *Suite) ExtensionMESI() string {
+	defer s.span("ext/mesi")()
 	t := report.NewTable(
 		"Extension: MESI silent upgrades — events lost to the E state and accuracy impact",
 		"Benchmark", "MSI events", "MESI events", "E-grants",
@@ -264,6 +271,7 @@ func findBench(s *Suite, name string) workload.Benchmark {
 // — the protocol-substrate sensitivity study for the paper's "e.g. Dir_i
 // NB" assumption.
 func (s *Suite) ExtensionLimitedDirectory() string {
+	defer s.span("ext/limited-directory")()
 	t := report.NewTable(
 		"Extension: limited-pointer directories (Dir_i NB) — prediction accuracy is organisation-invariant",
 		"Directory", "Invalidations", "Broadcasts", "NetMessages", "BaselineSens", "BaselinePVP")

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"cohpredict/internal/core"
 	"cohpredict/internal/workload"
@@ -85,15 +86,28 @@ func TestSweepRecordsAndBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var parsed []SweepRecord
+	var parsed BenchReport
 	if err := json.Unmarshal(data, &parsed); err != nil {
 		t.Fatalf("BenchJSON not parseable: %v\n%s", err, data)
 	}
-	if len(parsed) != len(s.SweepRecords()) {
-		t.Errorf("BenchJSON records = %d, want %d", len(parsed), len(s.SweepRecords()))
+	if len(parsed.Records) != len(s.SweepRecords()) {
+		t.Errorf("BenchJSON records = %d, want %d", len(parsed.Records), len(s.SweepRecords()))
 	}
 	if !strings.Contains(string(data), "scheme_events_per_sec") {
 		t.Error("BenchJSON missing throughput field")
+	}
+	// The report is self-describing: manifest plus per-record identity.
+	m := parsed.Manifest
+	if m.Scale != "test" || m.GoVersion == "" || m.GOOS == "" || m.StartedAt == "" {
+		t.Errorf("manifest incomplete: %+v", m)
+	}
+	for _, rec := range parsed.Records {
+		if rec.Scale != "test" || rec.Seed != s.Config.Seed || rec.GOOS == "" || rec.GOARCH == "" {
+			t.Errorf("record %s missing identity fields: %+v", rec.Label, rec)
+		}
+		if _, err := time.Parse(time.RFC3339, rec.StartedAt); err != nil {
+			t.Errorf("record %s StartedAt %q not RFC3339: %v", rec.Label, rec.StartedAt, err)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 // numbers substituted — the one-screen answer to "did the reproduction
 // hold?". It uses the direct- and forwarded-update sweeps (memoised).
 func (s *Suite) Summary() string {
+	defer s.span("summary")()
 	direct := s.sweep(core.Direct)
 	forwarded := s.sweep(core.Forwarded)
 

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// HistogramSnapshot is one histogram's state: cumulative bucket counts
+// (Prometheus-style, ending with the +Inf bucket), total count and sum.
+type HistogramSnapshot struct {
+	Buckets []BucketCount `json:"buckets"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+}
+
+// BucketCount is a cumulative histogram bucket: observations <= LE. The
+// bound is kept as its Prometheus label string ("+Inf" for the last
+// bucket) so the snapshot survives encoding/json, which rejects infinities.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Sum: h.Sum()}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, BucketCount{LE: promFloat(b), Count: cum})
+	}
+	cum += h.inf.Load()
+	s.Buckets = append(s.Buckets, BucketCount{LE: "+Inf", Count: cum})
+	s.Count = cum
+	return s
+}
+
+// Snapshot is a point-in-time JSON-ready view of a registry. Map keys
+// marshal in sorted order, so two snapshots of the same run differ only in
+// values — never in structure.
+type Snapshot struct {
+	Manifest     *Manifest                    `json:"manifest,omitempty"`
+	WallSeconds  float64                      `json:"wall_seconds"`
+	SpanCoverage float64                      `json:"span_coverage"`
+	Counters     map[string]int64             `json:"counters"`
+	Gauges       map[string]float64           `json:"gauges"`
+	Histograms   map[string]HistogramSnapshot `json:"histograms"`
+	Spans        []SpanSnapshot               `json:"spans"`
+}
+
+// Snapshot captures the registry's current state. Safe on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	s.WallSeconds = r.Wall().Seconds()
+	s.SpanCoverage = r.SpanCoverage()
+	s.Spans = r.Spans()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Manifest = r.manifest
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// SnapshotJSON marshals the current snapshot as indented JSON.
+func (r *Registry) SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// promName maps a metric name onto the Prometheus charset, replacing
+// anything outside [a-zA-Z0-9_:] with '_'.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func promFloat(v float64) string {
+	if v > 1e308 {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in Prometheus text exposition
+// format, names sorted: counters and gauges as single samples, histograms
+// with cumulative le-labelled buckets, spans as the span_seconds_total /
+// span_count_total pair labelled by path. Safe on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h.snapshot()
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, name := range sortedKeys(counters) {
+		n := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		n := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(gauges[name]))
+	}
+	for _, name := range sortedKeys(hists) {
+		n := promName(name)
+		h := hists[name]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		for _, bc := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, bc.LE, bc.Count)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count)
+	}
+	spans := r.Spans()
+	if len(spans) > 0 {
+		b.WriteString("# TYPE span_seconds_total counter\n")
+		for _, s := range spans {
+			fmt.Fprintf(&b, "span_seconds_total{path=%q} %s\n", s.Path, promFloat(s.Seconds))
+		}
+		b.WriteString("# TYPE span_count_total counter\n")
+		for _, s := range spans {
+			fmt.Fprintf(&b, "span_count_total{path=%q} %d\n", s.Path, s.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

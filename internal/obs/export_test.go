@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusGolden locks the text exposition format: a registry with
+// one of each instrument must export byte-for-byte the checked-in golden
+// file. Regenerate with `go test ./internal/obs -run Golden -update`.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("requests_total").Add(3)
+	r.Gauge("pool size").Set(4.5) // space exercises name sanitisation
+	h := r.Histogram("latency_seconds", []float64{0.5, 2})
+	for _, v := range []float64{0.25, 1, 4} {
+		h.Observe(v)
+	}
+	r.ObserveSpan("run", 2*time.Second)
+	r.ObserveSpan("run/eval", 1500*time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("prometheus export differs from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromNameSanitisation(t *testing.T) {
+	for in, want := range map[string]string{
+		"sweep_events_total": "sweep_events_total",
+		"pool size":          "pool_size",
+		"a-b.c/d":            "a_b_c_d",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest identifies one run well enough to reproduce it and to compare
+// metric files across machines and commits: the simulation parameters plus
+// the build and host identity.
+type Manifest struct {
+	Seed      int64  `json:"seed"`
+	Scale     string `json:"scale"`
+	Workers   int    `json:"workers"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GitRevision is the VCS revision stamped by the go tool; empty for
+	// non-VCS builds (go run from a module cache, test binaries).
+	GitRevision string `json:"git_revision,omitempty"`
+	GitDirty    bool   `json:"git_dirty,omitempty"`
+	// StartedAt is the manifest creation time in RFC3339 (UTC).
+	StartedAt string `json:"started_at"`
+}
+
+// NewManifest stamps a manifest for a run with the given parameters,
+// filling build and host identity from the runtime.
+func NewManifest(seed int64, scale string, workers int) Manifest {
+	m := Manifest{
+		Seed:      seed,
+		Scale:     scale,
+		Workers:   workers,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	m.GitRevision, m.GitDirty = vcsRevision()
+	return m
+}
+
+// vcsRevision returns the build's VCS revision and dirty flag from the
+// embedded build info, if the binary was built from a VCS checkout.
+func vcsRevision() (rev string, dirty bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}
+
+// Version returns a human-readable build identity for -version flags:
+// module version, VCS revision (when stamped) and the toolchain/platform.
+func Version() string {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	rev, dirty := vcsRevision()
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s rev %s (%s %s/%s)",
+		version, rev, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// spanStat accumulates all completions of one span path.
+type spanStat struct {
+	count int64
+	total time.Duration
+}
+
+// Span starts a timed span at the given slash-separated path and returns
+// the function that ends it. Paths form the hierarchy: "table/8/eval" is a
+// child of "table/8" (the parent of a path is its longest registered
+// proper prefix at a '/' boundary, or the root when none exists), and the
+// same path may complete many times — durations and counts accumulate.
+// Safe on a nil registry (the returned end func is a no-op).
+func (r *Registry) Span(path string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.ObserveSpan(path, time.Since(start)) }
+}
+
+// ObserveSpan records one completion of the span path with an explicit
+// duration — the primitive behind Span, exposed so tests and replayed
+// measurements can record deterministic timings. Safe on a nil registry.
+func (r *Registry) ObserveSpan(path string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	s, ok := r.spans[path]
+	if !ok {
+		s = &spanStat{}
+		r.spans[path] = s
+	}
+	s.count++
+	s.total += d
+	r.mu.Unlock()
+}
+
+// SpanSnapshot is one span path's accumulated timing.
+type SpanSnapshot struct {
+	Path    string  `json:"path"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Spans returns every span sorted by path.
+func (r *Registry) Spans() []SpanSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(r.spans))
+	for _, path := range sortedKeys(r.spans) {
+		s := r.spans[path]
+		out = append(out, SpanSnapshot{Path: path, Count: s.count, Seconds: s.total.Seconds()})
+	}
+	return out
+}
+
+// spanParent returns the longest proper prefix of path (at a '/'
+// boundary) that exists in paths, or "" for a top-level span.
+func spanParent(path string, paths map[string]bool) string {
+	for {
+		i := strings.LastIndexByte(path, '/')
+		if i < 0 {
+			return ""
+		}
+		path = path[:i]
+		if paths[path] {
+			return path
+		}
+	}
+}
+
+// SpanCoverage returns the fraction of the registry's wall time covered
+// by top-level spans — how much of the run the span tree accounts for.
+func (r *Registry) SpanCoverage() float64 {
+	if r == nil {
+		return 0
+	}
+	wall := r.Wall().Seconds()
+	if wall <= 0 {
+		return 0
+	}
+	spans := r.Spans()
+	exists := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		exists[s.Path] = true
+	}
+	var top float64
+	for _, s := range spans {
+		if spanParent(s.Path, exists) == "" {
+			top += s.Seconds
+		}
+	}
+	return top / wall
+}
+
+// SpanTree renders the accumulated spans as an indented wall-time
+// breakdown: each line shows the span path, total duration, share of the
+// registry's wall time, and completion count. Children are indented under
+// their parent; sibling order is lexicographic (deterministic).
+func (r *Registry) SpanTree() string {
+	if r == nil {
+		return ""
+	}
+	spans := r.Spans()
+	wall := r.Wall().Seconds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "span tree (wall %.3fs, top-level coverage %.1f%%):\n",
+		wall, 100*r.SpanCoverage())
+	exists := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		exists[s.Path] = true
+	}
+	depth := func(path string) int {
+		d := 0
+		for p := spanParent(path, exists); p != ""; p = spanParent(p, exists) {
+			d++
+		}
+		return d
+	}
+	for _, s := range spans {
+		pct := 0.0
+		if wall > 0 {
+			pct = 100 * s.Seconds / wall
+		}
+		indent := strings.Repeat("  ", depth(s.Path))
+		fmt.Fprintf(&b, "  %s%-*s %9.3fs %5.1f%%  x%d\n",
+			indent, 40-len(indent), s.Path, s.Seconds, pct, s.Count)
+	}
+	return b.String()
+}

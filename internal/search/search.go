@@ -12,14 +12,17 @@
 package search
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"cohpredict/internal/bitmap"
 	"cohpredict/internal/core"
 	"cohpredict/internal/eval"
 	"cohpredict/internal/metrics"
+	"cohpredict/internal/obs"
 	"cohpredict/internal/trace"
 )
 
@@ -161,7 +164,8 @@ func containsInt(xs []int, x int) bool {
 // multi-million-event sweeps. Arenas are per-groupState and never shared
 // across goroutines.
 type entryArena struct {
-	chunk []core.HistoryEntry
+	chunk  []core.HistoryEntry
+	chunks int
 }
 
 const arenaChunk = 1024
@@ -169,10 +173,61 @@ const arenaChunk = 1024
 func (a *entryArena) new() *core.HistoryEntry {
 	if len(a.chunk) == 0 {
 		a.chunk = make([]core.HistoryEntry, arenaChunk)
+		a.chunks++
 	}
 	e := &a.chunk[0]
 	a.chunk = a.chunk[1:]
 	return e
+}
+
+// stats reports the arena's occupancy: entries handed out and chunks
+// allocated.
+func (a *entryArena) stats() (entries, chunks int) {
+	return a.chunks*arenaChunk - len(a.chunk), a.chunks
+}
+
+// sweepObs bundles the engine's metric handles, resolved once per
+// evaluation so workers record through plain atomics. A nil *sweepObs (no
+// registry) makes every record a no-op; either way nothing is counted per
+// event — workers accumulate locally and publish once per (trace × index)
+// task, keeping the per-event loop untouched.
+type sweepObs struct {
+	events        *obs.Counter   // sweep_events_total: events scanned (per group pass)
+	cells         *obs.Counter   // sweep_cells_total: (trace × index) grid cells completed
+	histEntries   *obs.Gauge     // sweep_hist_entries: history-table entries allocated
+	pasEntries    *obs.Gauge     // sweep_pas_entries: PAs-table entries allocated
+	stickyEntries *obs.Gauge     // sweep_sticky_entries: sticky-table entries allocated
+	arenaChunks   *obs.Gauge     // sweep_arena_chunks: HistoryEntry arena chunks
+	taskSeconds   *obs.Histogram // sweep_task_seconds: per-cell wall time
+}
+
+func newSweepObs(r *obs.Registry) *sweepObs {
+	if r == nil {
+		return nil
+	}
+	return &sweepObs{
+		events:        r.Counter("sweep_events_total"),
+		cells:         r.Counter("sweep_cells_total"),
+		histEntries:   r.Gauge("sweep_hist_entries"),
+		pasEntries:    r.Gauge("sweep_pas_entries"),
+		stickyEntries: r.Gauge("sweep_sticky_entries"),
+		arenaChunks:   r.Gauge("sweep_arena_chunks"),
+		taskSeconds:   r.Histogram("sweep_task_seconds", obs.DurationBuckets),
+	}
+}
+
+// taskDone publishes one completed grid cell's tallies.
+func (so *sweepObs) taskDone(events, hist, pas, sticky, chunks int, d time.Duration) {
+	if so == nil {
+		return
+	}
+	so.events.Add(int64(events))
+	so.cells.Add(1)
+	so.histEntries.Add(float64(hist))
+	so.pasEntries.Add(float64(pas))
+	so.stickyEntries.Add(float64(sticky))
+	so.arenaChunks.Add(float64(chunks))
+	so.taskSeconds.Observe(d.Seconds())
 }
 
 // groupState is one group's predictor state for one trace: the mutable
@@ -248,8 +303,18 @@ func EvaluateSchemes(schemes []core.Scheme, m core.Machine, traces []NamedTrace)
 // workers <= 0 selects runtime.GOMAXPROCS(0). The result is bit-identical
 // for every worker count: work fans out over the (trace × index) grid,
 // every cell owns independent predictor state, and each scheme's
-// (benchmark) result cell is written by exactly one task.
+// (benchmark) result cell is written by exactly one task. Engine metrics
+// (events scanned, cells completed, table occupancy, per-worker busy time)
+// land in the default obs registry.
 func EvaluateSchemesWorkers(schemes []core.Scheme, m core.Machine, traces []NamedTrace, workers int) []Stats {
+	return EvaluateSchemesObserved(schemes, m, traces, workers, obs.Default())
+}
+
+// EvaluateSchemesObserved is EvaluateSchemesWorkers recording engine
+// metrics into an explicit registry (nil disables instrumentation
+// entirely). Metrics never influence evaluation: the returned stats are
+// byte-identical with any registry and any worker count.
+func EvaluateSchemesObserved(schemes []core.Scheme, m core.Machine, traces []NamedTrace, workers int, reg *obs.Registry) []Stats {
 	stats := make([]Stats, len(schemes))
 	names := make([]string, len(traces))
 	for i, nt := range traces {
@@ -284,13 +349,25 @@ func EvaluateSchemesWorkers(schemes []core.Scheme, m core.Machine, traces []Name
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	so := newSweepObs(reg)
+	reg.Gauge("sweep_workers").Set(float64(workers))
 
-	run := func(t task) {
-		runIndexTrace(t.ip, schemes, stats, t.ti, traces[t.ti].Trace, m)
+	// workerBusy resolves the per-worker busy-time counter; each worker
+	// accumulates wall time locally per task and publishes with one
+	// atomic add, so utilisation (busy ns vs. evaluation wall time) is
+	// visible per worker without touching the per-event loop.
+	workerBusy := func(w int) *obs.Counter {
+		return reg.Counter(fmt.Sprintf("sweep_worker_%02d_busy_ns", w))
+	}
+	run := func(t task, busy *obs.Counter) {
+		start := time.Now()
+		runIndexTrace(t.ip, schemes, stats, t.ti, traces[t.ti].Trace, m, so)
+		busy.Add(int64(time.Since(start)))
 	}
 	if workers <= 1 {
+		busy := workerBusy(0)
 		for _, t := range tasks {
-			run(t)
+			run(t, busy)
 		}
 		return stats
 	}
@@ -298,12 +375,13 @@ func EvaluateSchemesWorkers(schemes []core.Scheme, m core.Machine, traces []Name
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			busy := workerBusy(w)
 			for t := range ch {
-				run(t)
+				run(t, busy)
 			}
-		}()
+		}(w)
 	}
 	for _, t := range tasks {
 		ch <- t
@@ -317,10 +395,13 @@ func EvaluateSchemesWorkers(schemes []core.Scheme, m core.Machine, traces []Name
 // the event keys are memoized once and shared by all the index's groups,
 // and the groups' confusion tallies land in the task-local conf slice
 // (groups of one index cover disjoint schemes) before the single write
-// into the shared stats.
-func runIndexTrace(ip *indexPlan, schemes []core.Scheme, stats []Stats, ti int, tr *trace.Trace, m core.Machine) {
+// into the shared stats. Observability tallies (events scanned, table
+// occupancy) accumulate in task-local ints and publish once at the end.
+func runIndexTrace(ip *indexPlan, schemes []core.Scheme, stats []Stats, ti int, tr *trace.Trace, m core.Machine, so *sweepObs) {
+	start := time.Now()
 	km := eval.MemoKeys(ip.index, tr.Events, m, ip.wantsPrev && ip.needsPrev)
 	conf := make([]metrics.Confusion, len(schemes))
+	var scanned, histN, pasN, stickyN, chunkN int
 	for _, g := range ip.groups {
 		gs := newGroupState(ip, g, m)
 		events := tr.Events
@@ -340,7 +421,18 @@ func runIndexTrace(ip *indexPlan, schemes []core.Scheme, stats []Stats, ti int, 
 		for _, si := range g.stickySchemes {
 			stats[si].PerBench[ti] = conf[si]
 		}
+		scanned += len(events)
+		entries, chunks := gs.arena.stats()
+		histN += entries
+		chunkN += chunks
+		for _, table := range gs.pas {
+			pasN += len(table)
+		}
+		if gs.sticky != nil {
+			stickyN += gs.sticky.Entries()
+		}
 	}
+	so.taskDone(scanned, histN, pasN, stickyN, chunkN, time.Since(start))
 }
 
 // step processes one event for the group, mirroring eval.Engine.Step.
