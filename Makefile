@@ -1,18 +1,25 @@
 # Developer entry points. `make check` is the gate every change must pass:
-# vet plus the full test suite under the race detector (the parallel sweep
-# engine and suite generation run concurrent paths in ordinary tests).
+# vet, the predlint static-analysis pass, and the full test suite under the
+# race detector (the parallel sweep engine and suite generation run
+# concurrent paths in ordinary tests).
 
 GO ?= go
 
-.PHONY: check vet test race bench build obs-demo
+.PHONY: check vet lint test race bench build obs-demo
 
-check: vet race
+check: vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: determinism, hot-path discipline, obs
+# nil-safety, panic-free libraries, exhaustive enum switches. Exits
+# non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/predlint
 
 test:
 	$(GO) test ./...

@@ -145,7 +145,7 @@ func BenchmarkAblationDepth(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		search.EvaluateSchemes(schemes, cm, traces)
+		_, _ = search.EvaluateSchemes(schemes, cm, traces)
 	}
 }
 
@@ -164,7 +164,7 @@ func BenchmarkAblationIndexFields(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		search.EvaluateSchemes(schemes, cm, traces)
+		_, _ = search.EvaluateSchemes(schemes, cm, traces)
 	}
 }
 
@@ -181,7 +181,7 @@ func BenchmarkAblationUpdateMechanism(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		search.EvaluateSchemes(schemes, cm, traces)
+		_, _ = search.EvaluateSchemes(schemes, cm, traces)
 	}
 }
 
@@ -216,7 +216,7 @@ func BenchmarkExtensionMESI(b *testing.B) {
 	s := benchSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = s.ExtensionMESI()
+		_, _ = s.ExtensionMESI()
 	}
 }
 
@@ -225,7 +225,7 @@ func BenchmarkExtensionSticky(b *testing.B) {
 	s := benchSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = s.ExtensionSticky()
+		_, _ = s.ExtensionSticky()
 	}
 }
 
@@ -252,7 +252,7 @@ func BenchmarkBatchSweepPerEvent(b *testing.B) {
 	events := len(traces[0].Trace.Events)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		search.EvaluateSchemes(schemes, cm, traces)
+		_, _ = search.EvaluateSchemes(schemes, cm, traces)
 	}
 	b.ReportMetric(float64(b.N*events), "events")
 }
@@ -271,7 +271,7 @@ func benchSweepWorkers(b *testing.B, workers int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		search.EvaluateSchemesWorkers(schemes, cm, traces, workers)
+		_, _ = search.EvaluateSchemesWorkers(schemes, cm, traces, workers)
 	}
 	b.ReportMetric(float64(events*len(schemes)*b.N)/b.Elapsed().Seconds(), "scheme-events/s")
 }

@@ -1,0 +1,111 @@
+// Command predlint runs the project's static-analysis checks (package
+// internal/lint) over the module tree and exits non-zero when any
+// unsuppressed finding remains. It is wired into `make lint` and CI.
+//
+// Usage:
+//
+//	predlint [-root dir] [-checks a,b] [-json] [-list]
+//
+// With no -root flag the module root is found by walking up from the
+// working directory to the nearest go.mod.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cohpredict/internal/lint"
+)
+
+func main() {
+	var (
+		root     = flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+		checks   = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON document instead of text")
+		listOnly = flag.Bool("list", false, "list registered checks with descriptions and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, ch := range lint.Checks() {
+			fmt.Printf("%-12s %s\n", ch.Name, ch.Desc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predlint:", err)
+			os.Exit(2)
+		}
+	}
+	cfg, err := lint.LoadConfig(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predlint:", err)
+		os.Exit(2)
+	}
+	if *checks != "" {
+		known := map[string]bool{}
+		for _, ch := range lint.Checks() {
+			known[ch.Name] = true
+		}
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "predlint: unknown check %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			cfg.Checks = append(cfg.Checks, name)
+		}
+	}
+
+	res, err := lint.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predlint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "predlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f.String())
+		}
+		fmt.Printf("predlint: %d packages, %d findings, %d suppressed\n",
+			res.Packages, len(res.Findings), res.Suppressed)
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// directory containing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

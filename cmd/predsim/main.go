@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -149,9 +150,9 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			for name, data := range files {
+			for _, name := range sortedKeys(files) {
 				path := filepath.Join(*csvDir, name)
-				if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+				if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
 					return err
 				}
 				fmt.Println("wrote", path)
@@ -160,7 +161,11 @@ func run() error {
 		did = true
 	}
 	if *summary {
-		fmt.Println(suite.Summary())
+		out, err := suite.Summary()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
 		did = true
 	}
 	if *svgDir != "" {
@@ -172,9 +177,9 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			for name, data := range files {
+			for _, name := range sortedKeys(files) {
 				path := filepath.Join(*svgDir, name)
-				if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+				if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
 					return err
 				}
 				fmt.Println("wrote", path)
@@ -194,17 +199,29 @@ func run() error {
 		default:
 			return fmt.Errorf("unknown update mode %q", *pareto)
 		}
-		fmt.Println(suite.Pareto(mode))
+		out, err := suite.Pareto(mode)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
 		did = true
 	}
 	if *exts {
-		fmt.Println(suite.ExtensionSticky())
-		fmt.Println(suite.ExtensionLimitedDirectory())
-		fmt.Println(suite.ExtensionLearning())
-		fmt.Println(suite.ExtensionScaling())
-		fmt.Println(suite.ExtensionMESI())
-		fmt.Println(suite.ExtensionCosmos())
-		fmt.Println(suite.ExtensionOnlineForwarding())
+		for _, ext := range []func() (string, error){
+			suite.ExtensionSticky,
+			suite.ExtensionLimitedDirectory,
+			suite.ExtensionLearning,
+			suite.ExtensionScaling,
+			suite.ExtensionMESI,
+			suite.ExtensionCosmos,
+			suite.ExtensionOnlineForwarding,
+		} {
+			out, err := ext()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		}
 		did = true
 	}
 	if *tableN != 0 {
@@ -310,6 +327,17 @@ func run() error {
 	return nil
 }
 
+// sortedKeys returns the map's keys in sorted order, so "wrote" lines
+// print deterministically.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func parseScale(s string) (workload.Scale, error) {
 	switch s {
 	case "test":
@@ -404,7 +432,10 @@ func evalSchemes(suite *experiments.Suite, schemeList string) error {
 		}
 		schemes = append(schemes, s)
 	}
-	stats := suite.Evaluate("scheme-flag", schemes)
+	stats, err := suite.Evaluate("scheme-flag", schemes)
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("", "Scheme", "SizeLog2", "Prev", "Sens", "PVP")
 	for _, st := range stats {
 		t.AddRowf(st.Scheme.FullString(), fmt.Sprint(st.SizeLog2),

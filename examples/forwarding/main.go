@@ -74,7 +74,10 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, hop := range []uint64{0, 16, 128, 1024} {
-		sim := online.New(machine.DefaultConfig(), online.Config{Scheme: sc, HopTicks: hop})
+		sim, err := online.New(machine.DefaultConfig(), online.Config{Scheme: sc, HopTicks: hop})
+		if err != nil {
+			log.Fatal(err)
+		}
 		workload.NewOcean(workload.ScaleTest).Run(sim, 16, 11)
 		res, _ := sim.Finish()
 		fmt.Printf("%-10d %8d %8d %8d %10d %9.3f %10.3f\n",

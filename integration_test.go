@@ -146,7 +146,10 @@ func TestSweepConsistentWithSingleEvaluation(t *testing.T) {
 		s, _ := core.ParseScheme(str)
 		schemes = append(schemes, s)
 	}
-	stats := search.EvaluateSchemes(schemes, cm, []search.NamedTrace{{Name: "gauss", Trace: tr}})
+	stats, err := search.EvaluateSchemes(schemes, cm, []search.NamedTrace{{Name: "gauss", Trace: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, s := range schemes {
 		want := eval.Evaluate(s, cm, tr).Confusion
 		if stats[i].PerBench[0] != want {

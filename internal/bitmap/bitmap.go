@@ -36,6 +36,7 @@ func New(nodes ...int) Bitmap {
 // machine sharing). It panics if n is outside [0, MaxNodes].
 func Full(n int) Bitmap {
 	if n < 0 || n > MaxNodes {
+		//predlint:ignore panicfree documented construction-time bounds check
 		panic(fmt.Sprintf("bitmap: node count %d out of range", n))
 	}
 	if n == MaxNodes {
@@ -46,6 +47,7 @@ func Full(n int) Bitmap {
 
 func checkNode(node int) {
 	if node < 0 || node >= MaxNodes {
+		//predlint:ignore panicfree bounds guard on the documented node-index contract
 		panic(fmt.Sprintf("bitmap: node %d out of range [0,%d)", node, MaxNodes))
 	}
 }

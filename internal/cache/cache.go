@@ -94,6 +94,7 @@ type Cache struct {
 // invalid configuration (a construction-time programming error).
 func New(cfg Config) *Cache {
 	if err := cfg.validate(); err != nil {
+		//predlint:ignore panicfree construction-time config validation
 		panic(err)
 	}
 	sets := make([][]line, cfg.Sets())
@@ -119,6 +120,7 @@ func (c *Cache) Config() Config { return c.cfg }
 // LineAddr returns the line-aligned address containing addr.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
 
+//predlint:hotpath
 func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
 	block := addr >> c.lineBits
 	return c.sets[block&c.setMask], block >> 0
@@ -126,6 +128,8 @@ func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
 
 // Lookup returns the state of the line containing addr without touching LRU
 // state or statistics.
+//
+//predlint:hotpath
 func (c *Cache) Lookup(addr uint64) LineState {
 	set, tag := c.locate(addr)
 	for i := range set {
@@ -147,6 +151,8 @@ type Eviction struct {
 // Shared on a store upgrade, etc.) and, if a fill displaced a valid line,
 // the eviction. After Access returns, the line is present in Shared state
 // for loads and Modified state for stores.
+//
+//predlint:hotpath
 func (c *Cache) Access(addr uint64, write bool) (prev LineState, ev *Eviction) {
 	c.tick++
 	set, tag := c.locate(addr)
@@ -183,6 +189,7 @@ func (c *Cache) Access(addr uint64, write bool) (prev LineState, ev *Eviction) {
 		if dirty {
 			c.DirtyEvictions++
 		}
+		//predlint:ignore hotpath evictions are rare relative to accesses
 		ev = &Eviction{Addr: set[victim].tag << c.lineBits, Dirty: dirty}
 	}
 fill:
@@ -261,6 +268,7 @@ type Hierarchy struct {
 // size. It panics if the line sizes differ.
 func NewHierarchy(l1, l2 Config) *Hierarchy {
 	if l1.LineBytes != l2.LineBytes {
+		//predlint:ignore panicfree construction-time config validation
 		panic("cache: L1 and L2 line sizes differ")
 	}
 	return &Hierarchy{L1: New(l1), L2: New(l2)}
@@ -285,6 +293,8 @@ const (
 // the returned eviction (possibly nil) reports an L2 victim so the protocol
 // can write back dirty lines. Inclusion is maintained: L2 evictions
 // invalidate L1.
+//
+//predlint:hotpath
 func (h *Hierarchy) Access(addr uint64, write bool) (Outcome, *Eviction) {
 	h.L1.Access(addr, write) // L1 evictions are silent: L2 is inclusive
 	// L2 sees all L1 activity in this simple inclusive model; touching it

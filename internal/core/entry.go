@@ -30,6 +30,7 @@ func (e *HistoryEntry) Len() int { return int(e.n) }
 // i >= Len.
 func (e *HistoryEntry) Recent(i int) bitmap.Bitmap {
 	if i >= int(e.n) {
+		//predlint:ignore panicfree documented index-out-of-range contract
 		panic("core: history index out of range")
 	}
 	return e.ring[(int(e.pos)-1-i+2*MaxDepth)%MaxDepth]
@@ -78,6 +79,7 @@ func (e *HistoryEntry) Predict(fn Function, depth int) bitmap.Bitmap {
 	case Inter:
 		return e.Inter(depth)
 	default:
+		//predlint:ignore panicfree unreachable for valid Function values
 		panic("core: HistoryEntry cannot serve " + fn.String())
 	}
 }

@@ -23,6 +23,7 @@ type Table interface {
 // It panics if the scheme is invalid (a construction-time error).
 func NewTable(s Scheme, m Machine) Table {
 	if err := s.Validate(); err != nil {
+		//predlint:ignore panicfree construction-time scheme validation
 		panic(err)
 	}
 	switch s.Fn {

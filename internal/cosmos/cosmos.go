@@ -54,6 +54,7 @@ type Predictor struct {
 // predicts the previous writer again.
 func New(depth int) *Predictor {
 	if depth < 0 || depth > maxHistory {
+		//predlint:ignore panicfree construction-time depth bounds
 		panic(fmt.Sprintf("cosmos: depth %d outside [0,%d]", depth, maxHistory))
 	}
 	return &Predictor{depth: depth, blocks: make(map[uint64]*blockEntry)}

@@ -81,6 +81,7 @@ type Directory struct {
 // first-touch policy on a cache-line granularity").
 func New(nodes int) *Directory {
 	if nodes <= 0 || nodes > bitmap.MaxNodes {
+		//predlint:ignore panicfree construction-time node-count bounds
 		panic(fmt.Sprintf("directory: node count %d out of range", nodes))
 	}
 	return &Directory{
@@ -95,6 +96,7 @@ func New(nodes int) *Directory {
 // return int(addr/64) % nodes }). Must be called before any access.
 func (d *Directory) SetHomePolicy(p func(addr uint64, firstToucher int) int) {
 	if len(d.blocks) != 0 {
+		//predlint:ignore panicfree API-misuse guard documented in the contract
 		panic("directory: SetHomePolicy after accesses began")
 	}
 	d.homePolicy = p

@@ -47,6 +47,7 @@ func (m Mode) String() string {
 func NewLimited(nodes, pointers int) *Directory {
 	d := New(nodes)
 	if pointers <= 0 {
+		//predlint:ignore panicfree construction-time pointer-count bounds
 		panic(fmt.Sprintf("directory: pointer count %d must be positive", pointers))
 	}
 	d.mode = LimitedPointer

@@ -63,6 +63,7 @@ type Engine struct {
 // panics if the scheme is invalid.
 func NewEngine(s core.Scheme, m core.Machine) *Engine {
 	if err := s.Validate(); err != nil {
+		//predlint:ignore panicfree construction-time scheme validation
 		panic(err)
 	}
 	e := &Engine{scheme: s, machine: m, table: core.NewTable(s, m)}
@@ -75,6 +76,8 @@ func (e *Engine) Scheme() core.Scheme { return e.scheme }
 
 // Step processes one event: trains per the update mechanism, predicts, and
 // scores the prediction. It returns the (writer-masked) predicted bitmap.
+//
+//predlint:hotpath
 func (e *Engine) Step(ev trace.Event) bitmap.Bitmap {
 	idx := e.scheme.Index
 	curKey := idx.Key(ev.PID, ev.PC, ev.Dir, ev.Addr, e.machine)
@@ -105,7 +108,7 @@ func (e *Engine) Step(ev trace.Event) bitmap.Bitmap {
 		pred = e.table.Predict(curKey)
 		e.table.Train(curKey, ev.FutureReaders)
 	default:
-		panic(fmt.Sprintf("eval: unknown update mode %v", e.scheme.Update))
+		badUpdateMode(e.scheme.Update)
 	}
 	// A node never forwards to itself.
 	pred = pred.Clear(ev.PID)
@@ -114,6 +117,13 @@ func (e *Engine) Step(ev trace.Event) bitmap.Bitmap {
 	e.predCtr.Add(1)
 	e.confCtr.Add(int64(e.machine.Nodes))
 	return pred
+}
+
+// badUpdateMode lives outside Step so the hot path stays free of fmt.
+// Unreachable for schemes that passed Validate.
+func badUpdateMode(m core.UpdateMode) {
+	//predlint:ignore panicfree unreachable for validated schemes
+	panic(fmt.Sprintf("eval: unknown update mode %v", m))
 }
 
 // Run processes a whole trace.

@@ -23,6 +23,7 @@ type Window struct {
 // window may be shorter.
 func EvaluateWindowed(s core.Scheme, m core.Machine, tr *trace.Trace, windowSize int) []Window {
 	if windowSize <= 0 {
+		//predlint:ignore panicfree construction-time window validation
 		panic("eval: non-positive window size")
 	}
 	eng := NewEngine(s, m)

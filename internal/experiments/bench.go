@@ -51,22 +51,25 @@ type BenchReport struct {
 // Evaluate runs the batch evaluator over the suite's traces on the
 // configured worker pool, recording a SweepRecord under the given label —
 // the public entry point for ad-hoc scheme evaluation (predsim -scheme).
-func (s *Suite) Evaluate(label string, schemes []core.Scheme) []search.Stats {
+func (s *Suite) Evaluate(label string, schemes []core.Scheme) ([]search.Stats, error) {
 	return s.evaluate(label, schemes, s.NamedTraces())
 }
 
 // evaluate runs the batch evaluator on the suite's worker pool inside an
 // "eval" span (nested under whichever artifact span is open) and records
 // a SweepRecord for the run.
-func (s *Suite) evaluate(label string, schemes []core.Scheme, traces []search.NamedTrace) []search.Stats {
+func (s *Suite) evaluate(label string, schemes []core.Scheme, traces []search.NamedTrace) ([]search.Stats, error) {
 	defer s.span("eval")()
 	start := time.Now()
-	stats := search.EvaluateSchemesObserved(schemes, s.CM, traces, s.Config.Workers, s.obs)
+	stats, err := search.EvaluateSchemesObserved(schemes, s.CM, traces, s.Config.Workers, s.obs)
+	if err != nil {
+		return nil, err
+	}
 	wall := time.Since(start)
 	s.record(label, schemes, traces, start, wall)
 	s.log.Debugf("evaluated %s: %d schemes x %d traces in %v",
 		label, len(schemes), len(traces), wall.Round(time.Millisecond))
-	return stats
+	return stats, nil
 }
 
 func (s *Suite) record(label string, schemes []core.Scheme, traces []search.NamedTrace, start time.Time, wall time.Duration) {

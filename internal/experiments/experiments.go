@@ -230,15 +230,15 @@ func (s *Suite) Table(n int) (string, error) {
 	case 6:
 		return s.table6(), nil
 	case 7:
-		return s.table7(), nil
+		return s.table7()
 	case 8:
-		return s.topTable(8, core.Direct, true), nil
+		return s.topTable(8, core.Direct, true)
 	case 9:
-		return s.topTable(9, core.Forwarded, true), nil
+		return s.topTable(9, core.Forwarded, true)
 	case 10:
-		return s.topTable(10, core.Direct, false), nil
+		return s.topTable(10, core.Direct, false)
 	case 11:
-		return s.topTable(11, core.Forwarded, false), nil
+		return s.topTable(11, core.Forwarded, false)
 	default:
 		return "", fmt.Errorf("experiments: no table %d (paper tables 1-11)", n)
 	}
@@ -393,21 +393,31 @@ func sanitize(s string) string {
 }
 
 func (s *Suite) figurePanels(n int) (string, []FigurePanel, error) {
+	var (
+		title  string
+		panels []FigurePanel
+		err    error
+	)
 	switch n {
 	case 6:
-		return "Figure 6: Intersection prediction (history depth 2, 16-bit max index)",
-			s.figureFn(core.Inter, 2, 16), nil
+		title = "Figure 6: Intersection prediction (history depth 2, 16-bit max index)"
+		panels, err = s.figureFn(core.Inter, 2, 16)
 	case 7:
-		return "Figure 7: Union prediction (history depth 2, 16-bit max index)",
-			s.figureFn(core.Union, 2, 16), nil
+		title = "Figure 7: Union prediction (history depth 2, 16-bit max index)"
+		panels, err = s.figureFn(core.Union, 2, 16)
 	case 8:
-		return "Figure 8: PAs prediction (history depth 1, 12-bit max index)",
-			s.figureFn(core.PAs, 1, 12), nil
+		title = "Figure 8: PAs prediction (history depth 1, 12-bit max index)"
+		panels, err = s.figureFn(core.PAs, 1, 12)
 	case 9:
-		return "Figure 9: direct update, history depths 2 vs 4", s.figure9(), nil
+		title = "Figure 9: direct update, history depths 2 vs 4"
+		panels, err = s.figure9()
 	default:
 		return "", nil, fmt.Errorf("experiments: no figure %d (paper figures 6-9)", n)
 	}
+	if err != nil {
+		return "", nil, err
+	}
+	return title, panels, nil
 }
 
 // table3 reports workload inputs (paper Table 3).
@@ -475,7 +485,7 @@ func (s *Suite) table6() string {
 }
 
 // table7 reports the schemes of earlier work (paper Table 7).
-func (s *Suite) table7() string {
+func (s *Suite) table7() (string, error) {
 	rows := []struct {
 		desc   string
 		scheme string
@@ -492,11 +502,14 @@ func (s *Suite) table7() string {
 	for i, r := range rows {
 		sc, err := core.ParseScheme(r.scheme)
 		if err != nil {
-			panic(err)
+			return "", fmt.Errorf("experiments: table 7 scheme %q: %w", r.scheme, err)
 		}
 		schemes[i] = sc
 	}
-	stats := s.evaluate("table7", schemes, s.NamedTraces())
+	stats, err := s.evaluate("table7", schemes, s.NamedTraces())
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable("Table 7: schemes reported by earlier work",
 		"Description", "Scheme", "Update", "SizeLog2(bits)", "Sensitivity", "PVP")
 	for i, st := range stats {
@@ -504,13 +517,13 @@ func (s *Suite) table7() string {
 			fmt.Sprint(st.SizeLog2), fmt.Sprintf("%.2f", st.AvgSensitivity()),
 			fmt.Sprintf("%.2f", st.AvgPVP()))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // sweep returns (memoised) full-space results for the update mode.
-func (s *Suite) sweep(mode core.UpdateMode) []search.Stats {
+func (s *Suite) sweep(mode core.UpdateMode) ([]search.Stats, error) {
 	if st, ok := s.sweeps[mode]; ok {
-		return st
+		return st, nil
 	}
 	defer s.span(fmt.Sprintf("sweep-%v", mode))()
 	sp := search.DefaultSpace(mode)
@@ -519,15 +532,22 @@ func (s *Suite) sweep(mode core.UpdateMode) []search.Stats {
 	}
 	schemes := sp.Schemes(s.CM)
 	s.progress("sweeping %d schemes under %v update", len(schemes), mode)
-	st := s.evaluate(fmt.Sprintf("sweep/%v", mode), schemes, s.NamedTraces())
+	st, err := s.evaluate(fmt.Sprintf("sweep/%v", mode), schemes, s.NamedTraces())
+	if err != nil {
+		return nil, err
+	}
 	s.sweeps[mode] = st
-	return st
+	return st, nil
 }
 
 // topTable renders Tables 8–11: the top-10 schemes by PVP or sensitivity
 // under an update mode.
-func (s *Suite) topTable(n int, mode core.UpdateMode, byPVP bool) string {
-	stats := append([]search.Stats(nil), s.sweep(mode)...)
+func (s *Suite) topTable(n int, mode core.UpdateMode, byPVP bool) (string, error) {
+	swept, err := s.sweep(mode)
+	if err != nil {
+		return "", err
+	}
+	stats := append([]search.Stats(nil), swept...)
 	metric := "sensitivity"
 	if byPVP {
 		metric = "PVP"
@@ -545,7 +565,7 @@ func (s *Suite) topTable(n int, mode core.UpdateMode, byPVP bool) string {
 			fmt.Sprintf("%.2f", st.AvgPVP()),
 			fmt.Sprintf("%.2f", st.AvgSensitivity()))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 func comboLabels(combos []core.IndexSpec) []string {
@@ -561,7 +581,7 @@ func comboLabels(combos []core.IndexSpec) []string {
 
 // figureFn computes Figures 6–8: one prediction function across the 16
 // indexing combinations, one panel per update mechanism.
-func (s *Suite) figureFn(fn core.Function, depth, maxBits int) []FigurePanel {
+func (s *Suite) figureFn(fn core.Function, depth, maxBits int) ([]FigurePanel, error) {
 	combos := search.FigureCombos(maxBits, s.CM)
 	labels := comboLabels(combos)
 	var panels []FigurePanel
@@ -570,7 +590,10 @@ func (s *Suite) figureFn(fn core.Function, depth, maxBits int) []FigurePanel {
 		for i, c := range combos {
 			schemes[i] = core.Scheme{Fn: fn, Index: c, Depth: depth, Update: mode}
 		}
-		stats := s.evaluate(fmt.Sprintf("figure/%v/%v", fn, mode), schemes, s.NamedTraces())
+		stats, err := s.evaluate(fmt.Sprintf("figure/%v/%v", fn, mode), schemes, s.NamedTraces())
+		if err != nil {
+			return nil, err
+		}
 		sens := make([]float64, len(stats))
 		pvp := make([]float64, len(stats))
 		for i, st := range stats {
@@ -586,12 +609,12 @@ func (s *Suite) figureFn(fn core.Function, depth, maxBits int) []FigurePanel {
 			},
 		})
 	}
-	return panels
+	return panels, nil
 }
 
 // figure9 computes Figure 9: direct update, intersection/union/PAs at
 // history depths 2 and 4, one panel per function.
-func (s *Suite) figure9() []FigurePanel {
+func (s *Suite) figure9() ([]FigurePanel, error) {
 	var panels []FigurePanel
 	for _, part := range []struct {
 		fn      core.Function
@@ -604,7 +627,10 @@ func (s *Suite) figure9() []FigurePanel {
 				core.Scheme{Fn: part.fn, Index: c, Depth: 2, Update: core.Direct},
 				core.Scheme{Fn: part.fn, Index: c, Depth: 4, Update: core.Direct})
 		}
-		stats := s.evaluate(fmt.Sprintf("figure9/%v", part.fn), schemes, s.NamedTraces())
+		stats, err := s.evaluate(fmt.Sprintf("figure9/%v", part.fn), schemes, s.NamedTraces())
+		if err != nil {
+			return nil, err
+		}
 		series := []report.Series{
 			{Name: "pvp(2)"}, {Name: "sens(2)"}, {Name: "pvp(4)"}, {Name: "sens(4)"},
 		}
@@ -620,5 +646,5 @@ func (s *Suite) figure9() []FigurePanel {
 			Series: series,
 		})
 	}
-	return panels
+	return panels, nil
 }

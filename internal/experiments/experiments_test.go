@@ -133,8 +133,14 @@ func TestTable7BaselineIdentity(t *testing.T) {
 
 func TestMemoisedSweep(t *testing.T) {
 	s := suite(t)
-	a := s.sweep(core.Direct)
-	b := s.sweep(core.Direct)
+	a, err := s.sweep(core.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.sweep(core.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if &a[0] != &b[0] {
 		t.Error("sweep not memoised")
 	}
@@ -224,7 +230,10 @@ func TestFigureDetail(t *testing.T) {
 
 func TestParetoRenders(t *testing.T) {
 	s := suite(t)
-	out := s.Pareto(core.Direct)
+	out, err := s.Pareto(core.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "Pareto") || !strings.Contains(out, "last()1") {
 		t.Fatalf("pareto output:\n%s", out)
 	}
@@ -248,15 +257,19 @@ func TestParetoRenders(t *testing.T) {
 
 func TestExtensionsRender(t *testing.T) {
 	s := suite(t)
-	for name, out := range map[string]string{
-		"sticky":   s.ExtensionSticky(),
-		"limited":  s.ExtensionLimitedDirectory(),
-		"learning": s.ExtensionLearning(),
-		"scaling":  s.ExtensionScaling(),
-		"mesi":     s.ExtensionMESI(),
-		"cosmos":   s.ExtensionCosmos(),
-		"online":   s.ExtensionOnlineForwarding(),
+	for name, ext := range map[string]func() (string, error){
+		"sticky":   s.ExtensionSticky,
+		"limited":  s.ExtensionLimitedDirectory,
+		"learning": s.ExtensionLearning,
+		"scaling":  s.ExtensionScaling,
+		"mesi":     s.ExtensionMESI,
+		"cosmos":   s.ExtensionCosmos,
+		"online":   s.ExtensionOnlineForwarding,
 	} {
+		out, err := ext()
+		if err != nil {
+			t.Fatalf("%s extension: %v", name, err)
+		}
 		if !strings.Contains(out, "Extension") {
 			t.Errorf("%s extension output missing header:\n%s", name, out)
 		}
@@ -265,7 +278,10 @@ func TestExtensionsRender(t *testing.T) {
 
 func TestExtensionMESIEventsNeverIncrease(t *testing.T) {
 	s := suite(t)
-	out := s.ExtensionMESI()
+	out, err := s.ExtensionMESI()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, line := range strings.Split(out, "\n")[3:] {
 		fields := strings.Fields(line)
 		if len(fields) < 4 {
@@ -286,7 +302,10 @@ func TestExtensionMESIEventsNeverIncrease(t *testing.T) {
 
 func TestSummaryRenders(t *testing.T) {
 	s := suite(t)
-	out := s.Summary()
+	out, err := s.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{
 		"Reproduction summary", "Prevalence", "Best PVP, direct",
 		"Best sens, forwarded", "inter(", "union(",

@@ -19,9 +19,12 @@ import (
 // that achieve them. This realises the paper's second evaluation axis ("we
 // evaluate prediction accuracy, and bit cost per scheme") as a single
 // artifact: it shows where additional bits stop paying.
-func (s *Suite) Pareto(mode core.UpdateMode) string {
+func (s *Suite) Pareto(mode core.UpdateMode) (string, error) {
 	defer s.span("pareto")()
-	stats := s.sweep(mode)
+	stats, err := s.sweep(mode)
+	if err != nil {
+		return "", err
+	}
 	type best struct {
 		pvp, sens             float64
 		pvpScheme, sensScheme string
@@ -65,13 +68,13 @@ func (s *Suite) Pareto(mode core.UpdateMode) string {
 			fmt.Sprintf("%.3f", cum.pvp), cum.pvpScheme,
 			fmt.Sprintf("%.3f", cum.sens), cum.sensScheme)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtensionSticky compares the sticky-spatial scheme (the expansion invited
 // by the paper's footnote 2) against the built-in functions at matched
 // index widths.
-func (s *Suite) ExtensionSticky() string {
+func (s *Suite) ExtensionSticky() (string, error) {
 	defer s.span("ext/sticky")()
 	schemes := []string{
 		"sticky(dir+add8)1",
@@ -84,11 +87,14 @@ func (s *Suite) ExtensionSticky() string {
 	for _, str := range schemes {
 		sc, err := core.ParseScheme(str)
 		if err != nil {
-			panic(err)
+			return "", fmt.Errorf("experiments: sticky scheme %q: %w", str, err)
 		}
 		parsed = append(parsed, sc)
 	}
-	stats := s.evaluate("ext/sticky", parsed, s.NamedTraces())
+	stats, err := s.evaluate("ext/sticky", parsed, s.NamedTraces())
+	if err != nil {
+		return "", err
+	}
 	t := report.NewTable(
 		"Extension: sticky-spatial prediction (Bilir et al.) vs built-in functions",
 		"Scheme", "SizeLog2", "Sens", "PVP")
@@ -96,14 +102,14 @@ func (s *Suite) ExtensionSticky() string {
 		t.AddRowf(st.Scheme.String(), fmt.Sprint(st.SizeLog2),
 			fmt.Sprintf("%.3f", st.AvgSensitivity()), fmt.Sprintf("%.3f", st.AvgPVP()))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtensionLearning renders the learning curve of two representative
 // schemes on one benchmark: per-window sensitivity and PVP, showing how
 // quickly the predictors warm up — context for interpreting the absolute
 // numbers of the small-scale tables.
-func (s *Suite) ExtensionLearning() string {
+func (s *Suite) ExtensionLearning() (string, error) {
 	defer s.span("ext/learning")()
 	run := s.Runs[0]
 	windows := 8
@@ -119,7 +125,7 @@ func (s *Suite) ExtensionLearning() string {
 	for _, str := range []string{"last()1", "inter(pid+pc8)2", "union(dir+add8)4"} {
 		sc, err := core.ParseScheme(str)
 		if err != nil {
-			panic(err)
+			return "", fmt.Errorf("experiments: learning scheme %q: %w", str, err)
 		}
 		curves = append(curves, eval.EvaluateWindowed(sc, s.CM, run.Trace, size))
 	}
@@ -135,21 +141,21 @@ func (s *Suite) ExtensionLearning() string {
 		}
 		t.AddRowf(cells...)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtensionScaling re-runs one benchmark on machines of 4–64 nodes,
 // showing how prevalence and baseline predictability move with system
 // size — the scalability question the paper's fixed 16-node study leaves
 // open.
-func (s *Suite) ExtensionScaling() string {
+func (s *Suite) ExtensionScaling() (string, error) {
 	defer s.span("ext/scaling")()
 	t := report.NewTable(
 		"Extension: machine-size scaling (em3d)",
 		"Nodes", "Events", "Prevalence(%)", "BaselineSens", "BaselinePVP")
 	base, err := core.ParseScheme("last()1")
 	if err != nil {
-		panic(err)
+		return "", fmt.Errorf("experiments: scaling baseline: %w", err)
 	}
 	for _, nodes := range []int{4, 8, 16, 32, 64} {
 		cfg := s.Config.Machine
@@ -159,14 +165,17 @@ func (s *Suite) ExtensionScaling() string {
 		bench.Run(m, nodes, s.Config.Seed)
 		tr := m.Finish()
 		cm := core.Machine{Nodes: nodes, LineBytes: cfg.LineBytes}
-		stats := search.EvaluateSchemesWorkers([]core.Scheme{base}, cm,
+		stats, err := search.EvaluateSchemesWorkers([]core.Scheme{base}, cm,
 			[]search.NamedTrace{{Name: "em3d", Trace: tr}}, s.Config.Workers)
+		if err != nil {
+			return "", err
+		}
 		t.AddRowf(fmt.Sprint(nodes), fmt.Sprint(len(tr.Events)),
 			fmt.Sprintf("%.2f", 100*stats[0].AvgPrevalence()),
 			fmt.Sprintf("%.3f", stats[0].AvgSensitivity()),
 			fmt.Sprintf("%.3f", stats[0].AvgPVP()))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtensionOnlineForwarding co-simulates the data-forwarding protocol with
@@ -174,18 +183,21 @@ func (s *Suite) ExtensionScaling() string {
 // on-time, late and early/wasted at increasing network delays — the §3.3
 // timing effects the offline estimator cannot see. The online yield of a
 // scheme is bounded above by its offline PVP; the gap is pure timing loss.
-func (s *Suite) ExtensionOnlineForwarding() string {
+func (s *Suite) ExtensionOnlineForwarding() (string, error) {
 	defer s.span("ext/online-forwarding")()
 	t := report.NewTable(
 		"Extension: online forwarding co-simulation (em3d, union(dir+add8)2)",
 		"HopTicks", "OnTime", "Late", "Early", "Unserved", "EffYield", "EffCoverage")
 	sc, err := core.ParseScheme("union(dir+add8)2")
 	if err != nil {
-		panic(err)
+		return "", fmt.Errorf("experiments: online-forwarding scheme: %w", err)
 	}
 	bench := findBench(s, "em3d")
 	for _, hop := range []uint64{0, 8, 64, 512} {
-		sim := online.New(s.Config.Machine, online.Config{Scheme: sc, HopTicks: hop})
+		sim, err := online.New(s.Config.Machine, online.Config{Scheme: sc, HopTicks: hop})
+		if err != nil {
+			return "", err
+		}
 		bench.Run(sim, s.Config.Machine.Nodes, s.Config.Seed)
 		res, _ := sim.Finish()
 		t.AddRowf(fmt.Sprint(hop),
@@ -194,7 +206,7 @@ func (s *Suite) ExtensionOnlineForwarding() string {
 			fmt.Sprintf("%.3f", res.EffectiveYield()),
 			fmt.Sprintf("%.3f", res.EffectiveCoverage()))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtensionCosmos evaluates the Cosmos-style next-writer predictor
@@ -203,7 +215,7 @@ func (s *Suite) ExtensionOnlineForwarding() string {
 // history depths 0–2. High depth-0 accuracy means writers repeat; the
 // depth-1/2 gain over depth 0 measures how much *pattern* the ownership
 // stream carries — the migratory analogue of the reader-set study.
-func (s *Suite) ExtensionCosmos() string {
+func (s *Suite) ExtensionCosmos() (string, error) {
 	defer s.span("ext/cosmos")()
 	t := report.NewTable(
 		"Extension: Cosmos-style next-writer prediction (accuracy/coverage per history depth)",
@@ -216,7 +228,7 @@ func (s *Suite) ExtensionCosmos() string {
 		}
 		t.AddRowf(cells...)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtensionMESI re-runs the suite under a MESI protocol, where stores to
@@ -225,7 +237,7 @@ func (s *Suite) ExtensionCosmos() string {
 // instruction-indexed scheme — quantifying how much predictor-relevant
 // information the E state hides (silent epochs are attributed to the
 // granting *load*, diluting pc-indexed history).
-func (s *Suite) ExtensionMESI() string {
+func (s *Suite) ExtensionMESI() (string, error) {
 	defer s.span("ext/mesi")()
 	t := report.NewTable(
 		"Extension: MESI silent upgrades — events lost to the E state and accuracy impact",
@@ -233,7 +245,7 @@ func (s *Suite) ExtensionMESI() string {
 		"MSI inter(pid+pc8)2 sens/pvp", "MESI sens/pvp")
 	scheme, err := core.ParseScheme("inter(pid+pc8)2")
 	if err != nil {
-		panic(err)
+		return "", fmt.Errorf("experiments: MESI scheme: %w", err)
 	}
 	for _, r := range s.Runs {
 		cfg := s.Config.Machine
@@ -243,17 +255,24 @@ func (s *Suite) ExtensionMESI() string {
 		mesiTrace := m.Finish()
 		grants := m.Stats().Directory.ExclusiveGrants
 
-		msi := s.evaluate("ext/mesi/msi", []core.Scheme{scheme},
-			[]search.NamedTrace{{Name: r.Benchmark.Name(), Trace: r.Trace}})[0]
-		mesi := s.evaluate("ext/mesi/mesi", []core.Scheme{scheme},
-			[]search.NamedTrace{{Name: r.Benchmark.Name(), Trace: mesiTrace}})[0]
+		msiStats, err := s.evaluate("ext/mesi/msi", []core.Scheme{scheme},
+			[]search.NamedTrace{{Name: r.Benchmark.Name(), Trace: r.Trace}})
+		if err != nil {
+			return "", err
+		}
+		mesiStats, err := s.evaluate("ext/mesi/mesi", []core.Scheme{scheme},
+			[]search.NamedTrace{{Name: r.Benchmark.Name(), Trace: mesiTrace}})
+		if err != nil {
+			return "", err
+		}
+		msi, mesi := msiStats[0], mesiStats[0]
 		t.AddRowf(r.Benchmark.Name(),
 			fmt.Sprint(len(r.Trace.Events)), fmt.Sprint(len(mesiTrace.Events)),
 			fmt.Sprint(grants),
 			fmt.Sprintf("%.2f/%.2f", msi.AvgSensitivity(), msi.AvgPVP()),
 			fmt.Sprintf("%.2f/%.2f", mesi.AvgSensitivity(), mesi.AvgPVP()))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 func findBench(s *Suite, name string) workload.Benchmark {
@@ -270,7 +289,7 @@ func findBench(s *Suite, name string) workload.Benchmark {
 // feedback (and hence accuracy) is unchanged while broadcast traffic grows
 // — the protocol-substrate sensitivity study for the paper's "e.g. Dir_i
 // NB" assumption.
-func (s *Suite) ExtensionLimitedDirectory() string {
+func (s *Suite) ExtensionLimitedDirectory() (string, error) {
 	defer s.span("ext/limited-directory")()
 	t := report.NewTable(
 		"Extension: limited-pointer directories (Dir_i NB) — prediction accuracy is organisation-invariant",
@@ -278,7 +297,7 @@ func (s *Suite) ExtensionLimitedDirectory() string {
 	bench := s.Runs[0].Benchmark
 	base, err := core.ParseScheme("last()1")
 	if err != nil {
-		panic(err)
+		return "", fmt.Errorf("experiments: limited-directory baseline: %w", err)
 	}
 	for _, ptrs := range []int{0, 8, 4, 2, 1} {
 		cfg := s.Config.Machine
@@ -287,8 +306,11 @@ func (s *Suite) ExtensionLimitedDirectory() string {
 		bench.Run(m, cfg.Nodes, s.Config.Seed)
 		tr := m.Finish()
 		st := m.Stats()
-		stats := s.evaluate("ext/dirinb", []core.Scheme{base},
+		stats, err := s.evaluate("ext/dirinb", []core.Scheme{base},
 			[]search.NamedTrace{{Name: bench.Name(), Trace: tr}})
+		if err != nil {
+			return "", err
+		}
 		name := "full-map"
 		if ptrs > 0 {
 			name = fmt.Sprintf("Dir%dNB", ptrs)
@@ -300,5 +322,5 @@ func (s *Suite) ExtensionLimitedDirectory() string {
 			fmt.Sprintf("%.3f", stats[0].AvgSensitivity()),
 			fmt.Sprintf("%.3f", stats[0].AvgPVP()))
 	}
-	return t.String() + fmt.Sprintf("(workload: %s)\n", bench.Name())
+	return t.String() + fmt.Sprintf("(workload: %s)\n", bench.Name()), nil
 }

@@ -121,8 +121,14 @@ func TestSuiteSweepsIdenticalAcrossWorkerCounts(t *testing.T) {
 	a := NewSuite(cfg)
 	cfg.Workers = 8
 	b := NewSuite(cfg)
-	sa := a.sweep(core.Direct)
-	sb := b.sweep(core.Direct)
+	sa, err := a.sweep(core.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.sweep(core.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(sa, sb) {
 		t.Fatal("direct sweep differs between workers=1 and workers=8")
 	}

@@ -11,10 +11,16 @@ import (
 // Summary renders the paper's §6 conclusions with this run's measured
 // numbers substituted — the one-screen answer to "did the reproduction
 // hold?". It uses the direct- and forwarded-update sweeps (memoised).
-func (s *Suite) Summary() string {
+func (s *Suite) Summary() (string, error) {
 	defer s.span("summary")()
-	direct := s.sweep(core.Direct)
-	forwarded := s.sweep(core.Forwarded)
+	direct, err := s.sweep(core.Direct)
+	if err != nil {
+		return "", err
+	}
+	forwarded, err := s.sweep(core.Forwarded)
+	if err != nil {
+		return "", err
+	}
 
 	baseline := findScheme(direct, "last()1")
 	prev := 0.0
@@ -59,7 +65,7 @@ func (s *Suite) Summary() string {
 	fmt.Fprintf(&b, "Shape verdicts: intersection owns PVP, union owns sensitivity, depth\n")
 	fmt.Fprintf(&b, "  is the dominant knob, pc-only indexing is the weakest — all as in\n")
 	fmt.Fprintf(&b, "  the paper (details in EXPERIMENTS.md).\n")
-	return b.String()
+	return b.String(), nil
 }
 
 func findScheme(stats []search.Stats, name string) search.Stats {

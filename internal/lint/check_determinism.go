@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// checkDeterminism guards the byte-identical-output contract: inside the
+// deterministic packages it flags wall-clock reads (time.Now, time.Since),
+// global math/rand use (an unseeded process-wide source), environment
+// reads (os.Getenv and friends), and iteration over maps whose loop body
+// reaches an output, hash, or append-to-result path — the four ways
+// nondeterminism has historically crept into simulators.
+//
+// Clock reads that feed observability only (sweep task timing, worker
+// busy-ns) are allowed through Config.ClockAllowlist; benchmark probe
+// files are exempted by name via Config.DeterminismSkipFiles.
+func checkDeterminism(c *Context) {
+	det := map[string]bool{}
+	for _, p := range c.Cfg.DeterministicPkgs {
+		det[p] = true
+	}
+	skip := map[string]bool{}
+	for _, f := range c.Cfg.DeterminismSkipFiles {
+		skip[f] = true
+	}
+	for _, pkg := range c.Pkgs {
+		if !det[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			pos := c.Fset.Position(file.Pos())
+			if skip[filepath.Base(pos.Filename)] {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				allowClock := c.Cfg.ClockAllowlist[pkg.Path+"."+fd.Name.Name]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						c.checkDetCall(pkg, n, allowClock)
+					case *ast.RangeStmt:
+						c.checkMapRange(pkg, n)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// pkgFunc resolves a call of the form pkgname.Func where pkgname is an
+// imported package, returning its import path and function name.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (path, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded sources rather than touching the global one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func (c *Context) checkDetCall(pkg *Package, call *ast.CallExpr, allowClock bool) {
+	path, name := pkgFunc(pkg.Info, call)
+	switch path {
+	case "time":
+		if (name == "Now" || name == "Since") && !allowClock {
+			c.reportf("determinism", call.Pos(),
+				"time.%s in deterministic package %s: results must not depend on the wall clock", name, pkg.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] {
+			c.reportf("determinism", call.Pos(),
+				"global rand.%s in deterministic package %s: use an explicitly seeded *rand.Rand", name, pkg.Name)
+		}
+	case "os":
+		if name == "Getenv" || name == "LookupEnv" || name == "Environ" {
+			c.reportf("determinism", call.Pos(),
+				"os.%s in deterministic package %s: results must not depend on the environment", name, pkg.Name)
+		}
+	}
+}
+
+// checkMapRange flags `range m` over a map when the loop body reaches an
+// order-sensitive path: appending to a result, printing or writing,
+// hashing, returning, or sending on a channel. Commutative bodies
+// (counter sums, independent keyed writes) pass.
+func (c *Context) checkMapRange(pkg *Package, rng *ast.RangeStmt) {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if reason := orderSensitive(pkg.Info, rng.Body); reason != "" {
+		c.reportf("determinism", rng.Pos(),
+			"iteration over map reaches an order-sensitive path (%s); map order is random", reason)
+	}
+}
+
+// orderSensitive scans a map-range body for constructs whose effect
+// depends on iteration order, returning a short description or "".
+func orderSensitive(info *types.Info, body *ast.BlockStmt) (reason string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			reason = "returns from inside the loop"
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				reason = "appends to a slice"
+				return false
+			}
+			if name := callName(n); orderSensitiveCall(name) {
+				reason = "calls " + name
+			}
+		case *ast.AssignStmt:
+			// s += ... on a string accumulates in iteration order.
+			if n.Tok.String() == "+=" && len(n.Lhs) == 1 {
+				if tv, ok := info.Types[n.Lhs[0]]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						reason = "concatenates strings"
+					}
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// callName renders the called function as pkg.Name / recv.Name / Name for
+// the order-sensitivity heuristic.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// orderSensitiveCall reports whether a call name looks like output,
+// hashing, or accumulation — the sinks where iteration order becomes
+// visible.
+func orderSensitiveCall(name string) bool {
+	if name == "" {
+		return false
+	}
+	if strings.HasPrefix(name, "fmt.") {
+		return true
+	}
+	short := name
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		short = name[i+1:]
+	}
+	for _, frag := range []string{"Print", "Write", "Fprint", "Sprint", "Hash", "Sum", "Render", "Encode", "Marshal"} {
+		if strings.Contains(short, frag) {
+			return true
+		}
+	}
+	return false
+}

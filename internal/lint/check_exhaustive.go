@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkExhaustive verifies that every switch over a configured enum type
+// (the taxonomy's prediction-function and update-mode enums) either
+// covers every declared constant or carries a default case. The paper's
+// taxonomy grows by adding constants; this check turns every omission
+// into a finding at the switch instead of a silent fall-through.
+func checkExhaustive(c *Context) {
+	enums := c.enumConstants()
+	if len(enums) == 0 {
+		return
+	}
+	for _, pkg := range c.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := pkg.Info.Types[sw.Tag]
+				if !ok {
+					return true
+				}
+				named, ok := tv.Type.(*types.Named)
+				if !ok {
+					return true
+				}
+				key := enumKey(named)
+				consts, tracked := enums[key]
+				if !tracked {
+					return true
+				}
+				c.lintSwitch(pkg, sw, key, consts)
+				return true
+			})
+		}
+	}
+}
+
+// enumConstants resolves Config.EnumTypes ("importpath.TypeName") to the
+// package-level constants of each type, keyed by the same string.
+func (c *Context) enumConstants() map[string]map[string]string {
+	out := map[string]map[string]string{}
+	for _, spec := range c.Cfg.EnumTypes {
+		dot := strings.LastIndex(spec, ".")
+		if dot < 0 {
+			continue
+		}
+		pkgPath, typeName := spec[:dot], spec[dot+1:]
+		pkg := c.pkgByPath(pkgPath)
+		if pkg == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		consts := map[string]string{} // constant value -> a name holding it
+		for _, name := range scope.Names() {
+			cn, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			named, ok := cn.Type().(*types.Named)
+			if !ok || named.Obj().Name() != typeName || named.Obj().Pkg().Path() != pkgPath {
+				continue
+			}
+			val := cn.Val().ExactString()
+			if _, seen := consts[val]; !seen {
+				consts[val] = name
+			}
+		}
+		if len(consts) > 0 {
+			out[spec] = consts
+		}
+	}
+	return out
+}
+
+func enumKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// lintSwitch reports the switch when it has no default clause and misses
+// at least one of the enum's constants (compared by value, so aliased
+// constants count once).
+func (c *Context) lintSwitch(pkg *Package, sw *ast.SwitchStmt, enum string, consts map[string]string) {
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: the switch is total by construction
+		}
+		for _, e := range clause.List {
+			if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for val, name := range consts {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	c.reportf("exhaustive", sw.Pos(),
+		"switch over %s misses %s and has no default", enum, strings.Join(missing, ", "))
+}

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkHotpath enforces allocation discipline inside functions annotated
+// //predlint:hotpath — the per-event paths where a single allocation or
+// fmt call multiplies by millions of trace events. It flags:
+//
+//   - composite literals whose address is taken (&T{...} escapes),
+//   - slice and map composite literals (always allocate),
+//   - fmt.* calls (allocate and reflect),
+//   - closures capturing an enclosing loop variable,
+//   - implicit conversions of concrete values to interface parameters
+//     (each boxes its operand),
+//   - append inside a loop to a slice declared without capacity.
+func checkHotpath(c *Context) {
+	for _, pkg := range c.Pkgs {
+		eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			if !c.dirs.isHotpath(fd) || fd.Body == nil {
+				return
+			}
+			c.lintHotFunc(pkg, fd)
+		})
+	}
+}
+
+func (c *Context) lintHotFunc(pkg *Package, fd *ast.FuncDecl) {
+	info := pkg.Info
+	// loopVars maps loop-variable objects to true while their loop is in
+	// scope; loopDepth tracks whether an append happens per iteration.
+	loopVars := map[types.Object]bool{}
+
+	var walk func(n ast.Node, inLoop bool, inClosure bool)
+	inspect := func(n ast.Node, inLoop, inClosure bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				for _, s := range []ast.Stmt{m.Init, m.Post} {
+					collectLoopVars(info, s, loopVars)
+				}
+				if m.Init != nil {
+					walk(m.Init, inLoop, inClosure)
+				}
+				walk(m.Body, true, inClosure)
+				return false
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{m.Key, m.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+				walk(m.Body, true, inClosure)
+				return false
+			case *ast.FuncLit:
+				c.lintClosure(pkg, m, loopVars)
+				walk(m.Body, false, true)
+				return false
+			case *ast.UnaryExpr:
+				if m.Op.String() == "&" {
+					if _, ok := m.X.(*ast.CompositeLit); ok {
+						c.reportf("hotpath", m.Pos(),
+							"&composite literal escapes to the heap in hot path %s", fd.Name.Name)
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := info.Types[m]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						c.reportf("hotpath", m.Pos(),
+							"%s composite literal allocates in hot path %s", kindName(tv.Type), fd.Name.Name)
+					}
+				}
+			case *ast.CallExpr:
+				c.lintHotCall(pkg, fd, m, inLoop)
+			}
+			return true
+		})
+	}
+	walk = inspect
+	walk(fd.Body, false, false)
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// collectLoopVars records variables defined in a for-init statement.
+func collectLoopVars(info *types.Info, s ast.Stmt, out map[types.Object]bool) {
+	assign, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for _, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+}
+
+// lintClosure flags a func literal that references a variable belonging
+// to an enclosing loop.
+func (c *Context) lintClosure(pkg *Package, fl *ast.FuncLit, loopVars map[types.Object]bool) {
+	if len(loopVars) == 0 {
+		return
+	}
+	reported := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil && loopVars[obj] {
+			c.reportf("hotpath", fl.Pos(),
+				"closure captures loop variable %s (allocates and may alias across iterations)", id.Name)
+			reported = true
+		}
+		return true
+	})
+}
+
+func (c *Context) lintHotCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, inLoop bool) {
+	info := pkg.Info
+	if path, name := pkgFunc(info, call); path == "fmt" {
+		c.reportf("hotpath", call.Pos(), "fmt.%s call in hot path %s", name, fd.Name.Name)
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && inLoop {
+		c.lintAppend(pkg, fd, call)
+		return
+	}
+	// Implicit interface conversions: a concrete argument passed to an
+	// interface parameter boxes its operand on every call.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarded slice, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if types.IsInterface(at.Type) || at.IsNil() {
+			continue
+		}
+		c.reportf("hotpath", arg.Pos(),
+			"implicit conversion of %s to interface %s boxes the value in hot path %s",
+			at.Type.String(), pt.String(), fd.Name.Name)
+	}
+}
+
+// lintAppend flags per-iteration appends whose destination slice was
+// declared without a capacity hint. Destinations declared outside the
+// function (params, fields) are given the benefit of the doubt.
+func (c *Context) lintAppend(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	known, prealloc := declHasPrealloc(pkg, fd, obj)
+	if known && !prealloc {
+		c.reportf("hotpath", call.Pos(),
+			"append to %s inside a loop without preallocated capacity in hot path %s", id.Name, fd.Name.Name)
+	}
+}
+
+// declHasPrealloc looks for obj's declaration inside the function and
+// reports (found, preallocated): preallocated means declared via make
+// with a non-zero length or an explicit capacity.
+func declHasPrealloc(pkg *Package, fd *ast.FuncDecl, obj types.Object) (known, prealloc bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if known {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pkg.Info.Defs[id] != obj {
+					continue
+				}
+				known = true
+				if i < len(n.Rhs) {
+					prealloc = isPreallocMake(n.Rhs[i])
+				} else if len(n.Rhs) == 1 {
+					prealloc = true // multi-value RHS: can't judge, allow
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pkg.Info.Defs[name] != obj {
+					continue
+				}
+				known = true
+				if i < len(n.Values) {
+					prealloc = isPreallocMake(n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return known, prealloc
+}
+
+// isPreallocMake reports whether the expression is make([]T, n) with a
+// non-zero length or make([]T, n, c) with an explicit capacity.
+func isPreallocMake(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	switch len(call.Args) {
+	case 3:
+		return true
+	case 2:
+		if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+			return false
+		}
+		return true
+	}
+	return false
+}

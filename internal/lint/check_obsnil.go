@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkObsNil enforces the obs handle contract established in PR 2: a nil
+// *Counter/*Gauge/*Histogram (and a nil *Registry) is a valid no-op, but
+// only because every access goes through the nil-safe methods. Outside
+// the obs package itself, code must therefore never touch handle fields
+// directly nor construct handles with composite literals (bypassing the
+// registry); both would turn "observability off" from a no-op into a
+// panic.
+func checkObsNil(c *Context) {
+	handle := map[string]bool{}
+	for _, n := range c.Cfg.ObsHandleTypes {
+		handle[n] = true
+	}
+	isHandle := func(t types.Type) bool {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return false
+		}
+		return named.Obj().Pkg().Path() == c.Cfg.ObsPkg && handle[named.Obj().Name()]
+	}
+	for _, pkg := range c.Pkgs {
+		if pkg.Path == c.Cfg.ObsPkg {
+			continue
+		}
+		for sel, selection := range pkg.Info.Selections {
+			if selection.Kind() != types.FieldVal {
+				continue
+			}
+			if isHandle(selection.Recv()) {
+				c.reportf("obsnil", sel.Sel.Pos(),
+					"direct field access %s on obs handle %s: use the nil-safe methods",
+					sel.Sel.Name, selection.Recv().String())
+			}
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[lit]; ok && isHandle(tv.Type) {
+					c.reportf("obsnil", lit.Pos(),
+						"obs handle literal %s bypasses the registry: resolve handles via Registry methods", tv.Type.String())
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directives indexes the tree's predlint comment annotations:
+//
+//	//predlint:ignore check1,check2 reason...
+//	//predlint:hotpath
+//
+// An ignore comment suppresses the named checks on its own line and on
+// the line below it, so it works both as a trailing comment and as a
+// comment-above. "all" suppresses every check. A hotpath comment in a
+// function's doc group opts the function into the hotpath check.
+type directives struct {
+	// ignores[file][line] is the set of check names suppressed at that
+	// line ("all" matches any check).
+	ignores map[string]map[int]map[string]bool
+	// hotpath holds the declaration positions of annotated functions.
+	hotpath map[token.Pos]bool
+}
+
+const (
+	ignorePrefix  = "predlint:ignore"
+	hotpathMarker = "predlint:hotpath"
+)
+
+func collectDirectives(root string, fset *token.FileSet, pkgs []*Package) *directives {
+	d := &directives{
+		ignores: map[string]map[int]map[string]bool{},
+		hotpath: map[token.Pos]bool{},
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d.addComment(root, fset, c)
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if directiveText(c.Text) == hotpathMarker {
+						d.hotpath[fd.Pos()] = true
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// directiveText strips the comment markers and leading space from a
+// comment line, returning "" when it is not a predlint directive.
+func directiveText(text string) string {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "predlint:") {
+		return ""
+	}
+	return text
+}
+
+func (d *directives) addComment(root string, fset *token.FileSet, c *ast.Comment) {
+	text := directiveText(c.Text)
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return // malformed: no check names; never silently suppress everything
+	}
+	checks := map[string]bool{}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			checks[name] = true
+		}
+	}
+	pos := fset.Position(c.Pos())
+	file := relPath(root, pos.Filename)
+	lines := d.ignores[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		d.ignores[file] = lines
+	}
+	// The comment guards its own line (trailing form) and the next
+	// (comment-above form).
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		set := lines[line]
+		if set == nil {
+			set = map[string]bool{}
+			lines[line] = set
+		}
+		for name := range checks {
+			set[name] = true
+		}
+	}
+}
+
+// suppressed reports whether a finding of the given check at file:line is
+// covered by an ignore comment.
+func (d *directives) suppressed(file string, line int, check string) bool {
+	set := d.ignores[file][line]
+	return set != nil && (set[check] || set["all"])
+}
+
+// isHotpath reports whether the function declaration carries the
+// //predlint:hotpath annotation.
+func (d *directives) isHotpath(fd *ast.FuncDecl) bool {
+	return d.hotpath[fd.Pos()]
+}

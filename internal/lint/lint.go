@@ -1,0 +1,271 @@
+// Package lint is predlint: a project-specific static-analysis pass that
+// makes the reproduction's core contracts mechanical. The sweep engine
+// promises byte-identical output at any worker count with observability on
+// or off; nothing but convention stops a future change from slipping
+// time.Now, global math/rand, or an unordered map iteration into an output
+// path. predlint turns those conventions into checks that run as part of
+// `make check`:
+//
+//   - determinism: no wall-clock reads, global randomness, environment
+//     reads, or order-sensitive map iteration in the deterministic packages;
+//   - hotpath: functions annotated //predlint:hotpath stay free of
+//     per-event allocation and fmt traffic;
+//   - obsnil: obs handles are used only through their nil-safe methods
+//     outside internal/obs;
+//   - panicfree: library packages return errors instead of panicking;
+//   - exhaustive: switches over the taxonomy enums cover every constant.
+//
+// Every finding is suppressible at the site with a
+// "//predlint:ignore <check> reason" comment, so intentional exceptions
+// are visible and greppable. The analyzer uses only the standard library
+// (go/parser, go/ast, go/types): the module stays dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a location, the check that fired, and a
+// message. File paths are relative to the module root so output is stable
+// across checkouts.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the classic file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Result is the machine-readable outcome of a lint run (the -json
+// document).
+type Result struct {
+	Module     string    `json:"module"`
+	Packages   int       `json:"packages"`
+	Findings   []Finding `json:"findings"`
+	Suppressed int       `json:"suppressed"`
+}
+
+// Config parameterises a run. Every project-specific list lives here so
+// the checks themselves stay generic and the fixture tests can retarget
+// them at small test modules.
+type Config struct {
+	// Root is the module root directory; ModulePath its import path
+	// (read from go.mod by LoadConfig).
+	Root       string
+	ModulePath string
+
+	// DeterministicPkgs are the import paths subject to the determinism
+	// check — the packages whose results must be byte-identical run to
+	// run.
+	DeterministicPkgs []string
+	// DeterminismSkipFiles are file base names exempt from the
+	// determinism check (benchmark probes legitimately read the clock).
+	DeterminismSkipFiles []string
+	// ClockAllowlist lists "importpath.FuncName" entries allowed to call
+	// time.Now/time.Since inside deterministic packages: the sweep
+	// engine's observability timing, which feeds metrics but never
+	// results.
+	ClockAllowlist map[string]bool
+
+	// ObsPkg is the observability package; ObsHandleTypes its nil-safe
+	// handle types, which must not have fields accessed (or literals
+	// constructed) outside ObsPkg.
+	ObsPkg         string
+	ObsHandleTypes []string
+
+	// LibraryPrefixes are import-path prefixes counted as library code
+	// for the panicfree check (command and example mains are exempt).
+	LibraryPrefixes []string
+
+	// EnumTypes are "importpath.TypeName" entries whose switch
+	// statements must either cover every declared constant or carry a
+	// default case.
+	EnumTypes []string
+
+	// Checks restricts the run to the named checks; empty means all.
+	Checks []string
+}
+
+// DefaultConfig returns the project configuration for the cohpredict
+// module rooted at root.
+func DefaultConfig(root, modulePath string) *Config {
+	internal := func(names ...string) []string {
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = modulePath + "/internal/" + n
+		}
+		return out
+	}
+	return &Config{
+		Root:       root,
+		ModulePath: modulePath,
+		DeterministicPkgs: internal("bitmap", "trace", "cache", "machine", "eval",
+			"search", "metrics", "workload", "topology", "online", "cosmos",
+			"report", "experiments"),
+		DeterminismSkipFiles: []string{"bench.go"},
+		ClockAllowlist: map[string]bool{
+			// The sweep engine times tasks and worker busy-ns for the obs
+			// registry; the readings feed metrics only, never results.
+			modulePath + "/internal/search.EvaluateSchemesObserved": true,
+			modulePath + "/internal/search.runIndexTrace":           true,
+			// Suite.evaluate wraps every sweep in a wall-time SweepRecord.
+			modulePath + "/internal/experiments.evaluate": true,
+		},
+		ObsPkg:          modulePath + "/internal/obs",
+		ObsHandleTypes:  []string{"Counter", "Gauge", "Histogram", "Registry"},
+		LibraryPrefixes: []string{modulePath + "/internal/"},
+		EnumTypes: []string{
+			modulePath + "/internal/core.Function",
+			modulePath + "/internal/core.UpdateMode",
+		},
+	}
+}
+
+// Check is one registered analysis pass.
+type Check struct {
+	Name string
+	Desc string
+	run  func(*Context)
+}
+
+// Checks returns the registered checks in execution order.
+func Checks() []Check {
+	return []Check{
+		{
+			Name: "determinism",
+			Desc: "no time.Now/time.Since, global math/rand, os.Getenv, or order-sensitive map iteration in the deterministic packages",
+			run:  checkDeterminism,
+		},
+		{
+			Name: "hotpath",
+			Desc: "functions marked //predlint:hotpath avoid per-event heap allocation, fmt calls, loop-variable captures, interface conversions, and unpreallocated appends",
+			run:  checkHotpath,
+		},
+		{
+			Name: "obsnil",
+			Desc: "obs handles (Counter, Gauge, Histogram, Registry) are used only through their nil-safe methods outside internal/obs",
+			run:  checkObsNil,
+		},
+		{
+			Name: "panicfree",
+			Desc: "library packages return errors instead of calling panic or log.Fatal",
+			run:  checkPanicFree,
+		},
+		{
+			Name: "exhaustive",
+			Desc: "switches over the taxonomy enum types cover every constant or carry a default",
+			run:  checkExhaustive,
+		},
+	}
+}
+
+// Context is the shared state a check runs against.
+type Context struct {
+	Cfg  *Config
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	dirs     *directives
+	findings []Finding
+	dropped  int
+}
+
+// reportf records a finding at pos unless a //predlint:ignore comment
+// suppresses it.
+func (c *Context) reportf(check string, pos token.Pos, format string, args ...interface{}) {
+	p := c.Fset.Position(pos)
+	file := relPath(c.Cfg.Root, p.Filename)
+	if c.dirs.suppressed(file, p.Line, check) {
+		c.dropped++
+		return
+	}
+	c.findings = append(c.findings, Finding{
+		File:    file,
+		Line:    p.Line,
+		Col:     p.Column,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func relPath(root, file string) string {
+	prefix := root
+	if !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return strings.TrimPrefix(file, prefix)
+}
+
+// Run loads the module under cfg.Root and executes the configured checks,
+// returning every unsuppressed finding sorted by position.
+func Run(cfg *Config) (Result, error) {
+	fset := token.NewFileSet()
+	pkgs, err := loadModule(cfg, fset)
+	if err != nil {
+		return Result{}, err
+	}
+	ctx := &Context{Cfg: cfg, Fset: fset, Pkgs: pkgs, dirs: collectDirectives(cfg.Root, fset, pkgs)}
+	enabled := map[string]bool{}
+	for _, name := range cfg.Checks {
+		enabled[name] = true
+	}
+	for _, ch := range Checks() {
+		if len(enabled) > 0 && !enabled[ch.Name] {
+			continue
+		}
+		ch.run(ctx)
+	}
+	sort.Slice(ctx.findings, func(i, j int) bool {
+		a, b := ctx.findings[i], ctx.findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	if ctx.findings == nil {
+		ctx.findings = []Finding{}
+	}
+	return Result{
+		Module:     cfg.ModulePath,
+		Packages:   len(pkgs),
+		Findings:   ctx.findings,
+		Suppressed: ctx.dropped,
+	}, nil
+}
+
+// pkgByPath returns the loaded package with the given import path, or nil.
+func (c *Context) pkgByPath(path string) *Package {
+	for _, p := range c.Pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// eachFunc walks every function declaration of the package, calling fn
+// with the declaration and its enclosing file.
+func eachFunc(p *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn(f, fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureConfig retargets the checks at the small module under
+// testdata/fixture, which packs one violation (and one accepted pattern)
+// per check into a handful of tiny packages.
+func fixtureConfig(t *testing.T) *Config {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Config{
+		Root:                 root,
+		ModulePath:           "fixture",
+		DeterministicPkgs:    []string{"fixture/det"},
+		DeterminismSkipFiles: []string{"bench.go"},
+		ClockAllowlist:       map[string]bool{"fixture/det.AllowedClock": true},
+		ObsPkg:               "fixture/obs",
+		ObsHandleTypes:       []string{"Counter"},
+		LibraryPrefixes:      []string{"fixture/"},
+		EnumTypes:            []string{"fixture/enums.Mode"},
+	}
+}
+
+func runFixture(t *testing.T, checks ...string) Result {
+	t.Helper()
+	cfg := fixtureConfig(t)
+	cfg.Checks = checks
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFixtureGolden pins the full findings list — every check firing on
+// its fixture violation, none firing on the accepted patterns — against
+// testdata/findings.golden (regenerate with go test -run Golden -update).
+func TestFixtureGolden(t *testing.T) {
+	res := runFixture(t)
+	var sb strings.Builder
+	for _, f := range res.Findings {
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "findings.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("findings diverge from golden\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFixtureSuppression: the two //predlint:ignore sites (det.Quiet,
+// lib.Guard) are counted as suppressed and absent from the findings.
+func TestFixtureSuppression(t *testing.T) {
+	res := runFixture(t)
+	if res.Suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", res.Suppressed)
+	}
+	for _, f := range res.Findings {
+		if strings.Contains(f.Message, "Quiet") || f.File == "lib/lib.go" && f.Line >= 17 {
+			t.Errorf("suppressed site still reported: %s", f)
+		}
+	}
+}
+
+// TestFixtureCheckFilter: restricting cfg.Checks runs only the named
+// check.
+func TestFixtureCheckFilter(t *testing.T) {
+	res := runFixture(t, "exhaustive")
+	if len(res.Findings) == 0 {
+		t.Fatal("exhaustive-only run found nothing")
+	}
+	for _, f := range res.Findings {
+		if f.Check != "exhaustive" {
+			t.Errorf("check filter leaked finding %s", f)
+		}
+	}
+}
+
+// TestEveryCheckFires: each registered check produces at least one
+// fixture finding, so a check silently dying would fail here rather than
+// only in the golden diff.
+func TestEveryCheckFires(t *testing.T) {
+	res := runFixture(t)
+	fired := map[string]bool{}
+	for _, f := range res.Findings {
+		fired[f.Check] = true
+	}
+	for _, ch := range Checks() {
+		if !fired[ch.Name] {
+			t.Errorf("check %s produced no fixture finding", ch.Name)
+		}
+	}
+}
+
+// TestJSONShape pins the -json document: the field names the CI contract
+// depends on, and one fully-populated finding.
+func TestJSONShape(t *testing.T) {
+	res := runFixture(t)
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"module", "packages", "findings", "suppressed"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("json document lacks %q", key)
+		}
+	}
+	findings, ok := doc["findings"].([]interface{})
+	if !ok || len(findings) == 0 {
+		t.Fatalf("findings = %v", doc["findings"])
+	}
+	first, ok := findings[0].(map[string]interface{})
+	if !ok {
+		t.Fatalf("finding = %v", findings[0])
+	}
+	for _, key := range []string{"file", "line", "col", "check", "message"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("finding lacks %q", key)
+		}
+	}
+}
+
+// TestFindingsNeverNil: a clean subset run still marshals findings as []
+// not null.
+func TestFindingsNeverNil(t *testing.T) {
+	cfg := fixtureConfig(t)
+	cfg.Checks = []string{"obsnil"}
+	cfg.ObsHandleTypes = nil // nothing to flag
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"findings":null`) {
+		t.Error("empty findings marshal as null, want []")
+	}
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Name  string // package name
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadConfig reads go.mod under root and returns the project's default
+// configuration.
+func LoadConfig(root string) (*Config, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return DefaultConfig(abs, modPath), nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// loader type-checks the module's packages from source, resolving
+// module-internal imports itself and delegating the standard library to
+// the stdlib source importer (no compiled export data is needed, so the
+// analyzer works on a bare source tree).
+type loader struct {
+	cfg  *Config
+	fset *token.FileSet
+	dirs map[string]string // import path -> absolute dir
+	pkgs map[string]*Package
+	busy map[string]bool // cycle detection
+	std  types.ImporterFrom
+}
+
+// loadModule parses and type-checks every non-test package under
+// cfg.Root, returning them sorted by import path.
+func loadModule(cfg *Config, fset *token.FileSet) ([]*Package, error) {
+	l := &loader{
+		cfg:  cfg,
+		fset: fset,
+		dirs: map[string]string{},
+		pkgs: map[string]*Package{},
+		busy: map[string]bool{},
+	}
+	srcImp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	l.std = srcImp
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// discover maps every directory containing non-test Go files to its
+// import path. testdata, hidden and underscore directories are skipped,
+// following the go tool's rules.
+func (l *loader) discover() error {
+	return filepath.WalkDir(l.cfg.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.cfg.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		imp := l.cfg.ModulePath
+		if path != l.cfg.Root {
+			rel, err := filepath.Rel(l.cfg.Root, path)
+			if err != nil {
+				return err
+			}
+			imp += "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+}
+
+// load type-checks one module package (memoised), recursively loading its
+// module-internal imports.
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown module package %s", path)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && typeErr == nil {
+		typeErr = err
+	}
+	if typeErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErr)
+	}
+	p := &Package{
+		Path:  path,
+		Dir:   dir,
+		Name:  tpkg.Name(),
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.cfg.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from the source tree, everything else from the stdlib source importer.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.cfg.ModulePath || strings.HasPrefix(path, l.cfg.ModulePath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.cfg.Root, 0)
+}

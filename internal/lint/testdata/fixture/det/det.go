@@ -1,0 +1,61 @@
+// Package det is the fixture's deterministic package: each construct
+// below either violates the determinism check or demonstrates an
+// accepted pattern.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock (flagged).
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// AllowedClock is on the fixture's clock allowlist (not flagged).
+func AllowedClock() time.Duration {
+	return time.Since(time.Now())
+}
+
+// Roll uses the global rand source (flagged).
+func Roll() int {
+	return rand.Int()
+}
+
+// Seeded uses an explicitly seeded generator (not flagged).
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Int()
+}
+
+// Env reads the environment (flagged).
+func Env() string {
+	return os.Getenv("HOME")
+}
+
+// Quiet reads the environment under a suppression comment (counted as
+// suppressed, not reported).
+func Quiet() string {
+	//predlint:ignore determinism fixture exercises suppression
+	return os.Getenv("HOME")
+}
+
+// Render iterates a map into ordered output (flagged: order-sensitive).
+func Render(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += fmt.Sprintf("%s,", k)
+	}
+	return out
+}
+
+// Tally iterates a map commutatively (not flagged).
+func Tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package enums declares the fixture enum for the exhaustive check.
+package enums
+
+// Mode is the fixture enum.
+type Mode int
+
+// Mode constants.
+const (
+	A Mode = iota
+	B
+	C
+)

@@ -1,0 +1,37 @@
+// Package hot exercises the hotpath check.
+package hot
+
+import "fmt"
+
+type event struct{ id int }
+
+// Sum is the fixture hot function; the constructs inside are violations.
+//
+//predlint:hotpath
+func Sum(events []event) string {
+	var labels []string
+	var fns []func() int
+	for _, ev := range events {
+		labels = append(labels, ev.label())
+		fns = append(fns, func() int { return ev.id })
+	}
+	p := &event{id: len(labels)}
+	sink(p)
+	box(len(fns))
+	return fmt.Sprintf("%d", len(labels))
+}
+
+func (e event) label() string { return "e" }
+
+func sink(e *event) {}
+
+func box(v interface{}) {}
+
+// Cold is unmarked: the same constructs are fine here.
+func Cold(events []event) []string {
+	out := make([]string, 0, len(events))
+	for _, ev := range events {
+		out = append(out, fmt.Sprint(ev.id))
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package lib exercises the panicfree check.
+package lib
+
+import "log"
+
+// Explode panics (flagged).
+func Explode() {
+	panic("boom")
+}
+
+// Die calls log.Fatal (flagged).
+func Die() {
+	log.Fatal("dead")
+}
+
+// Guard panics under a suppression comment (counted as suppressed).
+func Guard() {
+	//predlint:ignore panicfree fixture invariant
+	panic("invariant")
+}

@@ -1,0 +1,16 @@
+// Package obs is the fixture observability package; Counter mirrors the
+// real module's nil-safe handle contract.
+package obs
+
+// Counter is a nil-safe counter handle.
+type Counter struct {
+	N int64
+}
+
+// Value returns the count; safe on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.N
+}

@@ -1,0 +1,19 @@
+// Package obsuse misuses obs handles outside the obs package.
+package obsuse
+
+import "fixture/obs"
+
+// Read accesses a handle field directly (flagged).
+func Read(c *obs.Counter) int64 {
+	return c.N
+}
+
+// Make constructs a handle literal (flagged).
+func Make() *obs.Counter {
+	return &obs.Counter{}
+}
+
+// Count uses the nil-safe method (not flagged).
+func Count(c *obs.Counter) int64 {
+	return c.Value()
+}

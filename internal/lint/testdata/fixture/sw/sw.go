@@ -1,0 +1,34 @@
+// Package sw exercises the exhaustive check.
+package sw
+
+import "fixture/enums"
+
+// Partial misses enums.C and has no default (flagged).
+func Partial(m enums.Mode) int {
+	switch m {
+	case enums.A:
+		return 1
+	case enums.B:
+		return 2
+	}
+	return 0
+}
+
+// Full covers every constant (not flagged).
+func Full(m enums.Mode) int {
+	switch m {
+	case enums.A, enums.B:
+		return 1
+	case enums.C:
+		return 2
+	}
+	return 0
+}
+
+// Defaulted carries a default case (not flagged).
+func Defaulted(m enums.Mode) int {
+	switch m {
+	default:
+		return 0
+	}
+}

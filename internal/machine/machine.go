@@ -98,6 +98,7 @@ type Machine struct {
 // configurations (a construction-time programming error).
 func New(cfg Config) *Machine {
 	if err := cfg.validate(); err != nil {
+		//predlint:ignore panicfree construction-time config validation
 		panic(err)
 	}
 	torus := topology.Square(cfg.Nodes)
@@ -134,15 +135,19 @@ func (m *Machine) line(addr uint64) uint64 { return addr &^ (uint64(m.cfg.LineBy
 
 func (m *Machine) checkPID(pid int) {
 	if pid < 0 || pid >= m.cfg.Nodes {
+		//predlint:ignore panicfree pid bounds misuse guard
 		panic(fmt.Sprintf("machine: pid %d out of range [0,%d)", pid, m.cfg.Nodes))
 	}
 	if m.finished {
+		//predlint:ignore panicfree access-after-Finish misuse guard
 		panic("machine: access after Finish")
 	}
 }
 
 // Load performs a load of addr by node pid. The pc identifies the static
 // load site (used only for statistics; predictors key off store PCs).
+//
+//predlint:hotpath
 func (m *Machine) Load(pid int, pc, addr uint64) {
 	m.checkPID(pid)
 	m.perNode[pid].Loads++
@@ -177,6 +182,8 @@ func (m *Machine) Load(pid int, pc, addr uint64) {
 }
 
 // Store performs a store to addr by node pid from static store site pc.
+//
+//predlint:hotpath
 func (m *Machine) Store(pid int, pc, addr uint64) {
 	m.checkPID(pid)
 	m.perNode[pid].Stores++
@@ -208,6 +215,7 @@ func (m *Machine) Store(pid int, pc, addr uint64) {
 // machine must not be used afterwards.
 func (m *Machine) Finish() *trace.Trace {
 	if m.finished {
+		//predlint:ignore panicfree double-Finish misuse guard
 		panic("machine: Finish called twice")
 	}
 	m.finished = true

@@ -116,11 +116,14 @@ type Sim struct {
 }
 
 // New builds a co-simulation around a fresh machine with the given
-// configuration. It panics if the scheme uses ordered update (impossible
-// online) or is invalid.
-func New(mcfg machine.Config, cfg Config) *Sim {
+// configuration. It returns an error if the scheme uses ordered update
+// (impossible online) or is invalid.
+func New(mcfg machine.Config, cfg Config) (*Sim, error) {
 	if cfg.Scheme.Update == core.Ordered {
-		panic("online: ordered update cannot be simulated online")
+		return nil, fmt.Errorf("online: ordered update cannot be simulated online")
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, fmt.Errorf("online: invalid scheme %s: %w", cfg.Scheme.FullString(), err)
 	}
 	inner := machine.New(mcfg)
 	s := &Sim{
@@ -133,7 +136,7 @@ func New(mcfg machine.Config, cfg Config) *Sim {
 		line:   uint64(mcfg.LineBytes),
 	}
 	inner.Directory().SetEventHook(s.onEvent)
-	return s
+	return s, nil
 }
 
 // Machine exposes the wrapped machine (for statistics).

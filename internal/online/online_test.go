@@ -28,6 +28,16 @@ func scheme(t *testing.T, s string) core.Scheme {
 	return sc
 }
 
+// mustNew builds a Sim, failing the test on a configuration error.
+func mustNew(t *testing.T, mcfg machine.Config, cfg Config) *Sim {
+	t.Helper()
+	s, err := New(mcfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // producerConsumer drives a stable pattern directly: node 0 writes, nodes
 // 1 and 2 read, repeatedly, with idle accesses between write and reads to
 // give forwards time to arrive.
@@ -44,7 +54,7 @@ func producerConsumer(s *Sim, rounds, slack int) {
 
 func TestOnTimeForwarding(t *testing.T) {
 	// Zero hop delay: every correctly predicted forward arrives on time.
-	s := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 0})
+	s := mustNew(t, mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 0})
 	producerConsumer(s, 50, 0)
 	res, _ := s.Finish()
 	if res.OnTime == 0 {
@@ -60,7 +70,7 @@ func TestOnTimeForwarding(t *testing.T) {
 
 func TestLateForwarding(t *testing.T) {
 	// Huge hop delay and no slack: readers always beat the forwards.
-	s := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 1 << 30})
+	s := mustNew(t, mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 1 << 30})
 	producerConsumer(s, 50, 0)
 	res, _ := s.Finish()
 	if res.OnTime != 0 {
@@ -78,7 +88,7 @@ func TestSlackRescuesForwards(t *testing.T) {
 	// With per-hop delay and unrelated traffic between write and reads,
 	// forwards have time to land: more slack → strictly better coverage.
 	run := func(slack int) Result {
-		s := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 4})
+		s := mustNew(t, mcfg(), Config{Scheme: scheme(t, "last(add8)1"), HopTicks: 4})
 		producerConsumer(s, 50, slack)
 		res, _ := s.Finish()
 		return res
@@ -94,7 +104,7 @@ func TestEarlyForwardsCounted(t *testing.T) {
 	// Predict readers that never come back: node 0 writes, 1 and 2 read
 	// once, then only node 0 rewrites forever — last-prediction keeps
 	// forwarding to {1,2}, every copy dying unused at the next write.
-	s := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1")})
+	s := mustNew(t, mcfg(), Config{Scheme: scheme(t, "last(add8)1")})
 	s.Store(0, 20, 0x1000)
 	s.Load(1, 22, 0x1000)
 	s.Load(2, 23, 0x1000)
@@ -112,7 +122,7 @@ func TestEarlyForwardsCounted(t *testing.T) {
 
 func TestUnservedMissesCounted(t *testing.T) {
 	// An empty-prediction scheme (deep intersection, cold) serves no one.
-	s := New(mcfg(), Config{Scheme: scheme(t, "inter(pc8)4")})
+	s := mustNew(t, mcfg(), Config{Scheme: scheme(t, "inter(pc8)4")})
 	producerConsumer(s, 10, 0)
 	res, _ := s.Finish()
 	if res.UnservedMisses == 0 {
@@ -121,16 +131,23 @@ func TestUnservedMissesCounted(t *testing.T) {
 }
 
 func TestOrderedRejected(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ordered update accepted online")
-		}
-	}()
-	New(mcfg(), Config{Scheme: scheme(t, "last(add8)1[ordered]")})
+	s, err := New(mcfg(), Config{Scheme: scheme(t, "last(add8)1[ordered]")})
+	if err == nil {
+		t.Fatal("ordered update accepted online")
+	}
+	if s != nil {
+		t.Fatal("non-nil Sim returned with error")
+	}
+}
+
+func TestInvalidSchemeRejected(t *testing.T) {
+	if _, err := New(mcfg(), Config{Scheme: core.Scheme{Fn: core.Inter, Depth: 0}}); err == nil {
+		t.Fatal("invalid scheme accepted online")
+	}
 }
 
 func TestWorksUnderRealWorkload(t *testing.T) {
-	s := New(machine.DefaultConfig(), Config{Scheme: scheme(t, "union(dir+add8)2"), HopTicks: 2})
+	s := mustNew(t, machine.DefaultConfig(), Config{Scheme: scheme(t, "union(dir+add8)2"), HopTicks: 2})
 	b, err := workload.ByName("ocean", workload.ScaleTest)
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +174,7 @@ func TestWorksUnderRealWorkload(t *testing.T) {
 // early losses only subtract.
 func TestOnlineYieldBelowOfflinePVP(t *testing.T) {
 	sc := scheme(t, "last(dir+add8)1")
-	s := New(machine.DefaultConfig(), Config{Scheme: sc, HopTicks: 8})
+	s := mustNew(t, machine.DefaultConfig(), Config{Scheme: sc, HopTicks: 8})
 	b, _ := workload.ByName("em3d", workload.ScaleTest)
 	b.Run(s, 16, 3)
 	res, tr := s.Finish()

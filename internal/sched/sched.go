@@ -114,6 +114,7 @@ const DefaultSyncBase uint64 = 1 << 40
 // New prepares a runtime; Run is the usual entry point.
 func New(mem Memory, cfg Config) *Runtime {
 	if cfg.Threads <= 0 {
+		//predlint:ignore panicfree construction-time config validation
 		panic("sched: non-positive thread count")
 	}
 	if cfg.MaxQuantum <= 0 {
@@ -201,12 +202,14 @@ func (rt *Runtime) schedule() {
 			return
 		}
 		if len(cand) == 0 {
+			//predlint:ignore panicfree scheduler deadlock is unrecoverable; fail loudly
 			panic(fmt.Sprintf("sched: deadlock — %d live threads, none runnable", rt.live))
 		}
 		t := cand[rt.rng.Intn(len(cand))]
 		t.resume <- struct{}{}
 		<-rt.yield
 		if rt.threadPanic != nil {
+			//predlint:ignore panicfree re-raises a workload thread's own panic
 			panic(rt.threadPanic)
 		}
 	}
@@ -264,6 +267,7 @@ func (t *Thread) Lock(l *Lock) {
 // Unlock releases l and wakes its waiters, which re-contend.
 func (t *Thread) Unlock(l *Lock) {
 	if !l.held || l.holder != t.ID {
+		//predlint:ignore panicfree lock-misuse guard
 		panic(fmt.Sprintf("sched: thread %d unlocking lock held by %d", t.ID, l.holder))
 	}
 	l.held = false

@@ -20,10 +20,10 @@ func TestEvaluateObservedMetrics(t *testing.T) {
 	schemes := QuickSpace(core.Direct).Schemes(m16)
 
 	regSerial := obs.New()
-	serial := EvaluateSchemesObserved(schemes, m16, traces, 1, regSerial)
+	serial := evalOK(EvaluateSchemesObserved(schemes, m16, traces, 1, regSerial))
 	regPar := obs.New()
-	parallel := EvaluateSchemesObserved(schemes, m16, traces, 4, regPar)
-	plain := EvaluateSchemesObserved(schemes, m16, traces, 4, nil)
+	parallel := evalOK(EvaluateSchemesObserved(schemes, m16, traces, 4, regPar))
+	plain := evalOK(EvaluateSchemesObserved(schemes, m16, traces, 4, nil))
 
 	if !reflect.DeepEqual(serial, parallel) || !reflect.DeepEqual(serial, plain) {
 		t.Fatal("stats differ across registries/worker counts")

@@ -170,6 +170,7 @@ type entryArena struct {
 
 const arenaChunk = 1024
 
+//predlint:hotpath
 func (a *entryArena) new() *core.HistoryEntry {
 	if len(a.chunk) == 0 {
 		a.chunk = make([]core.HistoryEntry, arenaChunk)
@@ -267,6 +268,7 @@ func newGroupState(ip *indexPlan, g *groupPlan, m core.Machine) *groupState {
 	return gs
 }
 
+//predlint:hotpath
 func (gs *groupState) histEntry(key uint64) *core.HistoryEntry {
 	if gs.histSlice != nil {
 		return gs.histSlice[key]
@@ -274,6 +276,7 @@ func (gs *groupState) histEntry(key uint64) *core.HistoryEntry {
 	return gs.hist[key]
 }
 
+//predlint:hotpath
 func (gs *groupState) histTrain(key uint64, feedback bitmap.Bitmap) {
 	if gs.histSlice != nil {
 		e := gs.histSlice[key]
@@ -294,8 +297,8 @@ func (gs *groupState) histTrain(key uint64, feedback bitmap.Bitmap) {
 
 // EvaluateSchemes evaluates every scheme over every trace and returns stats
 // in the same order as the input schemes, using one worker per available
-// CPU. Invalid schemes panic (the space builders only produce valid ones).
-func EvaluateSchemes(schemes []core.Scheme, m core.Machine, traces []NamedTrace) []Stats {
+// CPU. An invalid scheme yields an error naming it.
+func EvaluateSchemes(schemes []core.Scheme, m core.Machine, traces []NamedTrace) ([]Stats, error) {
 	return EvaluateSchemesWorkers(schemes, m, traces, 0)
 }
 
@@ -306,7 +309,7 @@ func EvaluateSchemes(schemes []core.Scheme, m core.Machine, traces []NamedTrace)
 // (benchmark) result cell is written by exactly one task. Engine metrics
 // (events scanned, cells completed, table occupancy, per-worker busy time)
 // land in the default obs registry.
-func EvaluateSchemesWorkers(schemes []core.Scheme, m core.Machine, traces []NamedTrace, workers int) []Stats {
+func EvaluateSchemesWorkers(schemes []core.Scheme, m core.Machine, traces []NamedTrace, workers int) ([]Stats, error) {
 	return EvaluateSchemesObserved(schemes, m, traces, workers, obs.Default())
 }
 
@@ -314,7 +317,7 @@ func EvaluateSchemesWorkers(schemes []core.Scheme, m core.Machine, traces []Name
 // metrics into an explicit registry (nil disables instrumentation
 // entirely). Metrics never influence evaluation: the returned stats are
 // byte-identical with any registry and any worker count.
-func EvaluateSchemesObserved(schemes []core.Scheme, m core.Machine, traces []NamedTrace, workers int, reg *obs.Registry) []Stats {
+func EvaluateSchemesObserved(schemes []core.Scheme, m core.Machine, traces []NamedTrace, workers int, reg *obs.Registry) ([]Stats, error) {
 	stats := make([]Stats, len(schemes))
 	names := make([]string, len(traces))
 	for i, nt := range traces {
@@ -322,7 +325,7 @@ func EvaluateSchemesObserved(schemes []core.Scheme, m core.Machine, traces []Nam
 	}
 	for i, s := range schemes {
 		if err := s.Validate(); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("search: scheme %d (%s): %w", i, s.FullString(), err)
 		}
 		stats[i] = Stats{
 			Scheme:   s,
@@ -369,7 +372,7 @@ func EvaluateSchemesObserved(schemes []core.Scheme, m core.Machine, traces []Nam
 		for _, t := range tasks {
 			run(t, busy)
 		}
-		return stats
+		return stats, nil
 	}
 	ch := make(chan task)
 	var wg sync.WaitGroup
@@ -388,7 +391,7 @@ func EvaluateSchemesObserved(schemes []core.Scheme, m core.Machine, traces []Nam
 	}
 	close(ch)
 	wg.Wait()
-	return stats
+	return stats, nil
 }
 
 // runIndexTrace evaluates every group of one index plan over one trace:
@@ -397,6 +400,8 @@ func EvaluateSchemesObserved(schemes []core.Scheme, m core.Machine, traces []Nam
 // (groups of one index cover disjoint schemes) before the single write
 // into the shared stats. Observability tallies (events scanned, table
 // occupancy) accumulate in task-local ints and publish once at the end.
+//
+//predlint:hotpath
 func runIndexTrace(ip *indexPlan, schemes []core.Scheme, stats []Stats, ti int, tr *trace.Trace, m core.Machine, so *sweepObs) {
 	start := time.Now()
 	km := eval.MemoKeys(ip.index, tr.Events, m, ip.wantsPrev && ip.needsPrev)
@@ -436,6 +441,8 @@ func runIndexTrace(ip *indexPlan, schemes []core.Scheme, stats []Stats, ti int, 
 }
 
 // step processes one event for the group, mirroring eval.Engine.Step.
+//
+//predlint:hotpath
 func (gs *groupState) step(schemes []core.Scheme, conf []metrics.Confusion, ev *trace.Event, curKey, prevKey uint64, m core.Machine) {
 	g := gs.plan
 	var trainKey uint64

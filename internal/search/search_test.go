@@ -2,6 +2,7 @@ package search
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"cohpredict/internal/bitmap"
@@ -20,6 +21,15 @@ func mustParse(t *testing.T, s string) core.Scheme {
 		t.Fatal(err)
 	}
 	return sc
+}
+
+// evalOK unwraps an EvaluateSchemes* result; these tests only evaluate
+// valid schemes, so an error is a test bug and aborts via panic.
+func evalOK(stats []Stats, err error) []Stats {
+	if err != nil {
+		panic(err)
+	}
+	return stats
 }
 
 // randomTrace builds a directory-consistent random trace (same construction
@@ -98,7 +108,7 @@ func TestBatchMatchesEngine(t *testing.T) {
 		}
 	}
 	traces := []NamedTrace{{Name: "rnd", Trace: tr}}
-	batch := EvaluateSchemes(schemes, m16, traces)
+	batch := evalOK(EvaluateSchemes(schemes, m16, traces))
 	for i, s := range schemes {
 		want := eval.Evaluate(s, m16, tr).Confusion
 		if got := batch[i].PerBench[0]; got != want {
@@ -111,8 +121,8 @@ func TestStatsAverages(t *testing.T) {
 	t1 := randomTrace(16, 16, 800, 1)
 	t2 := randomTrace(16, 16, 800, 2)
 	s := mustParse(t, "union(dir+add6)4")
-	stats := EvaluateSchemes([]core.Scheme{s}, m16, []NamedTrace{
-		{Name: "a", Trace: t1}, {Name: "b", Trace: t2}})
+	stats := evalOK(EvaluateSchemes([]core.Scheme{s}, m16, []NamedTrace{
+		{Name: "a", Trace: t1}, {Name: "b", Trace: t2}}))
 	st := stats[0]
 	if len(st.PerBench) != 2 || st.Bench[0] != "a" || st.Bench[1] != "b" {
 		t.Fatalf("stats = %+v", st)
@@ -160,11 +170,15 @@ func confusion(tp, fp, tn, fn uint64) metrics.Confusion {
 	return metrics.Confusion{TP: tp, FP: fp, TN: tn, FN: fn}
 }
 
-func TestEvaluateSchemesPanicsOnInvalid(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid scheme accepted")
-		}
-	}()
-	EvaluateSchemes([]core.Scheme{{Fn: core.Inter, Depth: 0}}, m16, nil)
+func TestEvaluateSchemesRejectsInvalid(t *testing.T) {
+	stats, err := EvaluateSchemes([]core.Scheme{{Fn: core.Inter, Depth: 0}}, m16, nil)
+	if err == nil {
+		t.Fatal("invalid scheme accepted")
+	}
+	if stats != nil {
+		t.Fatalf("stats = %+v, want nil on error", stats)
+	}
+	if !strings.Contains(err.Error(), "scheme 0") {
+		t.Errorf("error %q does not identify the offending scheme", err)
+	}
 }

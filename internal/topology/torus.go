@@ -19,6 +19,7 @@ type Torus struct {
 // dimension is not positive.
 func NewTorus(w, h int) *Torus {
 	if w <= 0 || h <= 0 {
+		//predlint:ignore panicfree construction-time dimension validation
 		panic(fmt.Sprintf("topology: invalid torus dimensions %dx%d", w, h))
 	}
 	return &Torus{W: w, H: h}
@@ -36,6 +37,7 @@ func Square(n int) *Torus {
 		}
 	}
 	if best == 0 {
+		//predlint:ignore panicfree unreachable: every n >= 1 factors
 		panic(fmt.Sprintf("topology: cannot factor %d nodes into a torus", n))
 	}
 	return NewTorus(n/best, best)
@@ -60,6 +62,7 @@ func (t *Torus) Node(x, y int) int {
 
 func (t *Torus) check(node int) {
 	if node < 0 || node >= t.Nodes() {
+		//predlint:ignore panicfree node bounds misuse guard
 		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", node, t.Nodes()))
 	}
 }

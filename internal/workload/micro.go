@@ -118,6 +118,7 @@ func (m *Micro) Run(mem sched.Memory, threads int, seed int64) {
 				}
 				t.Barrier()
 			default:
+				//predlint:ignore panicfree unreachable for registered patterns
 				panic(fmt.Sprintf("workload: unknown micro pattern %q", m.Pattern))
 			}
 		}

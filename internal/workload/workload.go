@@ -112,6 +112,7 @@ func (l *layout) words(n int) uint64 {
 	base := l.next
 	l.next += uint64(n) * wordBytes
 	if l.next >= sched.DefaultSyncBase {
+		//predlint:ignore panicfree address-space layout invariant
 		panic("workload: address space overflow into sync region")
 	}
 	return base
