@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test race bench build obs-demo
+.PHONY: check vet lint test race bench build obs-demo serve-demo fuzz-smoke
 
 check: vet lint race
 
@@ -39,3 +39,14 @@ bench-all:
 # metrics snapshot to obs.json and print the span tree (stderr).
 obs-demo:
 	$(GO) run ./cmd/predsim -scale test -quick -obs obs.json
+
+# Prediction-service demo: start predserve on a loopback port, drive every
+# endpoint with a scripted session, print each exchange, drain.
+serve-demo:
+	$(GO) run ./cmd/predserve -demo
+
+# Short native-fuzzing pass over the serving layer's two attack surfaces:
+# the JSON event decoder and the shard router's co-location invariants.
+fuzz-smoke:
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDecodeEventRequest -fuzztime=10s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzRouteKey -fuzztime=10s

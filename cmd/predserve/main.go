@@ -1,0 +1,230 @@
+// Command predserve hosts live prediction engines behind a JSON HTTP API
+// (internal/serve): create a session for a scheme, stream directory write
+// events at it, and read back predicted sharing bitmaps and the
+// confusion/sensitivity/PVP summary. See the README's "Serving" section
+// for a curl walkthrough.
+//
+//	predserve                      # serve on :8091
+//	predserve -addr :9000 -log info
+//	predserve -demo                # self-contained demo: serve, drive, drain
+//	predserve -version             # build identity
+//
+// On SIGINT/SIGTERM the server drains gracefully: listeners close,
+// in-flight requests and batches finish, session statistics are published,
+// and (with -obs) a final metrics snapshot is written.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cohpredict/internal/obs"
+	"cohpredict/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "predserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8091", "listen address")
+		logS    = flag.String("log", "info", "log level: quiet, info, debug")
+		shards  = flag.Int("shards", 0, "default shard count for sessions that don't request one (0 = min(cores, 8)); results are identical at any value")
+		obsOut  = flag.String("obs", "", "write the final observability snapshot to this JSON file on shutdown")
+		demo    = flag.Bool("demo", false, "start on a loopback port, run a scripted session against the API, print the stats, and exit")
+		version = flag.Bool("version", false, "print version and build identity, then exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("predserve", obs.Version())
+		return nil
+	}
+
+	level, err := parseLevel(*logS)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(level, func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	reg := obs.Default()
+	reg.SetManifest(obs.NewManifest(0, "serve", *shards))
+
+	srv := serve.NewServer(serve.Options{
+		Registry:      reg,
+		Log:           logger,
+		DefaultShards: *shards,
+	})
+
+	if *demo {
+		return runDemo(srv, logger)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Infof("predserve: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Infof("predserve: signal received, draining")
+
+	// Stop the listener and wait for in-flight requests, then drain the
+	// sessions (in-flight batches finish, statistics are published).
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	srv.Shutdown()
+
+	if *obsOut != "" {
+		data, err := reg.SnapshotJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*obsOut, data, 0o644); err != nil {
+			return err
+		}
+		logger.Infof("predserve: wrote %s", *obsOut)
+	}
+	return nil
+}
+
+func parseLevel(s string) (obs.Level, error) {
+	switch s {
+	case "quiet":
+		return obs.Quiet, nil
+	case "info":
+		return obs.Info, nil
+	case "debug":
+		return obs.Debug, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want quiet, info, or debug)", s)
+	}
+}
+
+// runDemo exercises the whole API against a loopback listener: create a
+// session, post a producer-consumer event stream (single and batched
+// forms), read the stats, drain. Its stdout is a worked example of every
+// endpoint.
+func runDemo(srv *serve.Server, logger *obs.Logger) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Infof("predserve: demo server: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("demo server on %s\n", base)
+
+	post := func(path, body string) (string, error) {
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode/100 != 2 {
+			return "", fmt.Errorf("%s: %s: %s", path, resp.Status, out)
+		}
+		return string(bytes.TrimSpace(out)), nil
+	}
+	get := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		return string(bytes.TrimSpace(out)), nil
+	}
+
+	// A 4-node producer-consumer pattern: node 0 writes block 0x1000,
+	// nodes 1 and 2 read it, round after round. After the first round the
+	// last-scheme predictor has learned the reader set.
+	created, err := post("/v1/sessions", `{"scheme":"last(dir+add8)1","nodes":4,"shards":2}`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("POST /v1/sessions\n  -> %s\n", created)
+
+	single, err := post("/v1/sessions/s1/events",
+		`{"pid":0,"pc":20,"dir":0,"addr":4096,"inv_readers":6,"future_readers":6}`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("POST /v1/sessions/s1/events (single, cold)\n  -> %s\n", single)
+
+	var batch bytes.Buffer
+	batch.WriteByte('[')
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			batch.WriteByte(',')
+		}
+		fmt.Fprintf(&batch,
+			`{"pid":0,"pc":20,"dir":0,"addr":4096,"inv_readers":6,"has_prev":true,"prev_pid":0,"prev_pc":20,"future_readers":6}`)
+	}
+	batch.WriteByte(']')
+	batched, err := post("/v1/sessions/s1/events", batch.String())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("POST /v1/sessions/s1/events (batch of 8, warm: predicts readers {1,2} = bitmap 6)\n  -> %s\n", batched)
+
+	stats, err := get("/v1/sessions/s1/stats")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GET /v1/sessions/s1/stats\n  -> %s\n", stats)
+
+	health, err := get("/healthz")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GET /healthz\n  -> %s\n", health)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	srv.Shutdown()
+	fmt.Println("drained.")
+	return nil
+}

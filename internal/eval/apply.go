@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/core"
+	"cohpredict/internal/trace"
+)
+
+// Apply processes one event against table t under update mode u with index
+// idx: it trains per the update mechanism's exact timing (paper §3.4),
+// reads the prediction, and masks the writer (a node never forwards to
+// itself). It is the single home of the per-event semantics: Engine.Step
+// delegates here, and the serving layer's shard workers call it directly
+// against their partition of the key space, so served predictions are
+// byte-identical to offline evaluation by construction.
+//
+// Apply touches only the entries for the event's current key and (under
+// forwarded update) previous-writer key. Both share the event's dir and
+// addr fields, which is what lets a table be partitioned by the dir+addr
+// component of the key (see internal/serve's router).
+//
+//predlint:hotpath
+func Apply(u core.UpdateMode, idx core.IndexSpec, t core.Table, m core.Machine, ev *trace.Event) bitmap.Bitmap {
+	curKey := idx.Key(ev.PID, ev.PC, ev.Dir, ev.Addr, m)
+	var pred bitmap.Bitmap
+	switch u {
+	case core.Direct:
+		// Feedback exists only when the closing epoch carried
+		// information (an invalidation actually happened).
+		if ev.HasPrev || !ev.InvReaders.IsEmpty() {
+			t.Train(curKey, ev.InvReaders)
+		}
+		pred = t.Predict(curKey)
+	case core.Forwarded:
+		// Forwarded update needs last-writer pid/pc only when the
+		// index actually uses them; a pure dir/addr index can always
+		// route the feedback (and is then exactly equivalent to
+		// direct update, the paper's §3.4 observation).
+		needsPrev := idx.UsePID || idx.PCBits > 0
+		switch {
+		case ev.HasPrev:
+			prevKey := idx.Key(ev.PrevPID, ev.PrevPC, ev.Dir, ev.Addr, m)
+			t.Train(prevKey, ev.InvReaders)
+		case !needsPrev && !ev.InvReaders.IsEmpty():
+			t.Train(curKey, ev.InvReaders)
+		}
+		pred = t.Predict(curKey)
+	case core.Ordered:
+		pred = t.Predict(curKey)
+		t.Train(curKey, ev.FutureReaders)
+	default:
+		badUpdateMode(u)
+	}
+	// A node never forwards to itself.
+	return pred.Clear(ev.PID)
+}

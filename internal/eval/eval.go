@@ -76,42 +76,11 @@ func (e *Engine) Scheme() core.Scheme { return e.scheme }
 
 // Step processes one event: trains per the update mechanism, predicts, and
 // scores the prediction. It returns the (writer-masked) predicted bitmap.
+// The train/predict semantics live in Apply; Step adds the scoring.
 //
 //predlint:hotpath
 func (e *Engine) Step(ev trace.Event) bitmap.Bitmap {
-	idx := e.scheme.Index
-	curKey := idx.Key(ev.PID, ev.PC, ev.Dir, ev.Addr, e.machine)
-	var pred bitmap.Bitmap
-	switch e.scheme.Update {
-	case core.Direct:
-		// Feedback exists only when the closing epoch carried
-		// information (an invalidation actually happened).
-		if ev.HasPrev || !ev.InvReaders.IsEmpty() {
-			e.table.Train(curKey, ev.InvReaders)
-		}
-		pred = e.table.Predict(curKey)
-	case core.Forwarded:
-		// Forwarded update needs last-writer pid/pc only when the
-		// index actually uses them; a pure dir/addr index can always
-		// route the feedback (and is then exactly equivalent to
-		// direct update, the paper's §3.4 observation).
-		needsPrev := idx.UsePID || idx.PCBits > 0
-		switch {
-		case ev.HasPrev:
-			prevKey := idx.Key(ev.PrevPID, ev.PrevPC, ev.Dir, ev.Addr, e.machine)
-			e.table.Train(prevKey, ev.InvReaders)
-		case !needsPrev && !ev.InvReaders.IsEmpty():
-			e.table.Train(curKey, ev.InvReaders)
-		}
-		pred = e.table.Predict(curKey)
-	case core.Ordered:
-		pred = e.table.Predict(curKey)
-		e.table.Train(curKey, ev.FutureReaders)
-	default:
-		badUpdateMode(e.scheme.Update)
-	}
-	// A node never forwards to itself.
-	pred = pred.Clear(ev.PID)
+	pred := Apply(e.scheme.Update, e.scheme.Index, e.table, e.machine, &ev)
 	e.conf.AddBitmaps(pred, ev.FutureReaders, e.machine.Nodes)
 	e.events++
 	e.predCtr.Add(1)

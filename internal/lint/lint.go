@@ -110,7 +110,7 @@ func DefaultConfig(root, modulePath string) *Config {
 		ModulePath: modulePath,
 		DeterministicPkgs: internal("bitmap", "trace", "cache", "machine", "eval",
 			"search", "metrics", "workload", "topology", "online", "cosmos",
-			"report", "experiments"),
+			"report", "experiments", "serve"),
 		DeterminismSkipFiles: []string{"bench.go"},
 		ClockAllowlist: map[string]bool{
 			// The sweep engine times tasks and worker busy-ns for the obs
@@ -119,6 +119,9 @@ func DefaultConfig(root, modulePath string) *Config {
 			modulePath + "/internal/search.runIndexTrace":           true,
 			// Suite.evaluate wraps every sweep in a wall-time SweepRecord.
 			modulePath + "/internal/experiments.evaluate": true,
+			// Shard workers time each micro-batch for the busy-ns counter;
+			// the reading feeds obs only, never predictions or stats.
+			modulePath + "/internal/serve.flushBatch": true,
 		},
 		ObsPkg:          modulePath + "/internal/obs",
 		ObsHandleTypes:  []string{"Counter", "Gauge", "Histogram", "Registry"},

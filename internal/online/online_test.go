@@ -169,6 +169,84 @@ func TestWorksUnderRealWorkload(t *testing.T) {
 	}
 }
 
+// fanOut16 drives the paper's 16-node sharing shape directly: node 0
+// writes a block, all fifteen other nodes read it back, round after round,
+// with `slack` idle accesses between the write and the first read. Each
+// access ticks the co-simulation clock once, so the k-th reader of a round
+// touches the block slack+k ticks after the forwards launch.
+func fanOut16(s *Sim, rounds, slack int) {
+	for r := 0; r < rounds; r++ {
+		s.Store(0, 20, 0x4000)
+		for i := 0; i < slack; i++ {
+			s.Load(0, 21, 0x9000+uint64(i)*64) // writer-local idle traffic
+		}
+		for pid := 1; pid < 16; pid++ {
+			s.Load(pid, 22, 0x4000)
+		}
+	}
+}
+
+// TestHopDelayDecomposition16 exercises the HopTicks > 0 late-forward path
+// on the full 16-node machine across the delay/slack space. Every case
+// must satisfy the accounting identity OnTime+Late+Early == Forwards (each
+// forward ends in exactly one bucket); the per-case expectations pin down
+// which bucket the delay regime fills. On the 4x4 torus the farthest
+// reader is 4 hops from node 0, so a forward is in flight for at most
+// 4*HopTicks ticks.
+func TestHopDelayDecomposition16(t *testing.T) {
+	cases := []struct {
+		name       string
+		hopTicks   uint64
+		slack      int
+		wantOnTime bool // at least one forward lands before its reader
+		wantLate   bool // at least one reader beats its forward
+		allLate    bool // no forward can possibly land in time
+	}{
+		{name: "instant", hopTicks: 0, slack: 0, wantOnTime: true},
+		// At 2 ticks/hop the adjacent reader (1 hop, reads 1 tick after
+		// the write) loses the race while distant readers still win it.
+		{name: "tight-two-ticks", hopTicks: 2, slack: 0, wantOnTime: true, wantLate: true},
+		{name: "tight-four-ticks", hopTicks: 4, slack: 0, wantOnTime: true, wantLate: true},
+		{name: "slack-rescues", hopTicks: 4, slack: 32, wantOnTime: true},
+		{name: "hopeless-delay", hopTicks: 1 << 30, slack: 64, wantLate: true, allLate: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustNew(t, machine.DefaultConfig(),
+				Config{Scheme: scheme(t, "last(add8)1"), HopTicks: tc.hopTicks})
+			fanOut16(s, 40, tc.slack)
+			res, tr := s.Finish()
+			if len(tr.Events) == 0 {
+				t.Fatal("no directory events")
+			}
+			if res.Forwards == 0 {
+				t.Fatalf("forwarding inert: %+v", res)
+			}
+			if res.OnTime+res.Late+res.Early != res.Forwards {
+				t.Fatalf("buckets don't sum to Forwards: %+v", res)
+			}
+			if tc.wantOnTime && res.OnTime == 0 {
+				t.Fatalf("expected on-time forwards: %+v", res)
+			}
+			if tc.wantLate && res.Late == 0 {
+				t.Fatalf("expected late forwards: %+v", res)
+			}
+			if tc.allLate && res.OnTime != 0 {
+				t.Fatalf("on-time forwards despite hopeless delay: %+v", res)
+			}
+			if res.HopFlits < res.Forwards {
+				t.Fatalf("hop-weighted cost %d below forward count %d on a multi-hop torus",
+					res.HopFlits, res.Forwards)
+			}
+			// Yield degrades monotonically with bucket leakage by
+			// construction; sanity-check its range.
+			if y := res.EffectiveYield(); y < 0 || y > 1 {
+				t.Fatalf("yield %v out of [0,1]", y)
+			}
+		})
+	}
+}
+
 // TestOnlineYieldBelowOfflinePVP: the co-simulated effective yield can
 // never beat the offline estimator's PVP for the same scheme — late and
 // early losses only subtract.

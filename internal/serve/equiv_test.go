@@ -1,0 +1,253 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/machine"
+	"cohpredict/internal/serve"
+	"cohpredict/internal/trace"
+	"cohpredict/internal/workload"
+)
+
+// genTrace simulates a workload on the paper's 16-node machine and returns
+// its coherence-event trace (deterministic per seed).
+func genTrace(t *testing.T, bench string, seed int64) *trace.Trace {
+	t.Helper()
+	mach := machine.New(machine.DefaultConfig())
+	b, err := workload.ByName(bench, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(mach, 16, seed)
+	tr := mach.Finish()
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	return tr
+}
+
+// client is a thin typed wrapper over the service's HTTP API for tests.
+type client struct {
+	t    testing.TB
+	base string
+	http *http.Client
+}
+
+func newClient(t testing.TB, srv *serve.Server) (*client, func()) {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	return &client{t: t, base: ts.URL, http: ts.Client()}, ts.Close
+}
+
+// do issues a request and decodes the JSON response into out (if non-nil),
+// returning the status code.
+func (c *client) do(method, path string, body []byte, out interface{}) int {
+	c.t.Helper()
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("decoding %s %s response %q: %v", method, path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (c *client) createSession(req serve.CreateSessionRequest) serve.CreateSessionResponse {
+	c.t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	var resp serve.CreateSessionResponse
+	if code := c.do("POST", "/v1/sessions", body, &resp); code != http.StatusCreated {
+		c.t.Fatalf("create session: status %d", code)
+	}
+	return resp
+}
+
+// wireEvents converts trace events to their API form.
+func wireEvents(evs []trace.Event) []serve.EventRequest {
+	out := make([]serve.EventRequest, len(evs))
+	for i, ev := range evs {
+		out[i] = serve.EventRequest{
+			PID:           ev.PID,
+			PC:            ev.PC,
+			Dir:           ev.Dir,
+			Addr:          ev.Addr,
+			InvReaders:    uint64(ev.InvReaders),
+			HasPrev:       ev.HasPrev,
+			PrevPID:       ev.PrevPID,
+			PrevPC:        ev.PrevPC,
+			FutureReaders: uint64(ev.FutureReaders),
+		}
+	}
+	return out
+}
+
+// postEvents replays events through the batched endpoint in chunks and
+// returns the predictions in order.
+func (c *client) postEvents(id string, evs []trace.Event, chunk int) []uint64 {
+	c.t.Helper()
+	preds := make([]uint64, 0, len(evs))
+	wire := wireEvents(evs)
+	for lo := 0; lo < len(wire); lo += chunk {
+		hi := lo + chunk
+		if hi > len(wire) {
+			hi = len(wire)
+		}
+		body, err := json.Marshal(wire[lo:hi])
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		var resp serve.EventsResponse
+		if code := c.do("POST", "/v1/sessions/"+id+"/events", body, &resp); code != http.StatusOK {
+			c.t.Fatalf("post events: status %d", code)
+		}
+		if resp.Events != hi-lo {
+			c.t.Fatalf("posted %d events, response says %d", hi-lo, resp.Events)
+		}
+		preds = append(preds, resp.Predictions...)
+	}
+	return preds
+}
+
+func (c *client) stats(id string) serve.StatsResponse {
+	c.t.Helper()
+	var resp serve.StatsResponse
+	if code := c.do("GET", "/v1/sessions/"+id+"/stats", nil, &resp); code != http.StatusOK {
+		c.t.Fatalf("stats: status %d", code)
+	}
+	return resp
+}
+
+// TestOfflineEquivalence is the serving layer's determinism contract: a
+// trace replayed through the HTTP API returns, per event, exactly the
+// bitmap eval.Engine.Step produces, and final confusion counts identical
+// to eval.Evaluate — at shard counts 1, 2, and 8, across prediction
+// functions and update mechanisms. It mirrors the sweep engine's
+// worker-count invariance tests.
+func TestOfflineEquivalence(t *testing.T) {
+	tr := genTrace(t, "em3d", 3)
+	m := core.Machine{Nodes: 16, LineBytes: 64}
+
+	schemes := []string{
+		"last(dir+add8)1",            // direct, dir+addr routed
+		"union(pid+pc8)2[forwarded]", // previous-writer training, degenerate routing
+		"union(dir+add10)4",
+		"inter(pid+dir+add8)2[forwarded]", // previous-writer training, dir+addr routed
+		"pas(add8)2[forwarded]",
+		"last()1[ordered]", // zero index: every event hits one entry
+		"sticky(add8)1",    // spatial neighbours: pinned to one shard
+	}
+	for _, schemeStr := range schemes {
+		sc, err := core.ParseScheme(schemeStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Offline ground truth: per-event predictions and final tallies.
+		eng := eval.NewEngine(sc, m)
+		wantPreds := make([]uint64, len(tr.Events))
+		for i, ev := range tr.Events {
+			wantPreds[i] = uint64(eng.Step(ev))
+		}
+		wantConf := eng.Confusion()
+		if evaluated := eval.Evaluate(sc, m, tr).Confusion; evaluated != wantConf {
+			t.Fatalf("%s: engine replay and eval.Evaluate disagree", schemeStr)
+		}
+
+		for _, shards := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", schemeStr, shards), func(t *testing.T) {
+				srv := serve.NewServer(serve.Options{})
+				defer srv.Shutdown()
+				c, closeTS := newClient(t, srv)
+				defer closeTS()
+
+				sess := c.createSession(serve.CreateSessionRequest{
+					Scheme:      schemeStr,
+					Nodes:       16,
+					LineBytes:   64,
+					Shards:      shards,
+					FlushMicros: -1,
+				})
+				// Chunk size deliberately prime so batches straddle
+				// micro-batch boundaries.
+				got := c.postEvents(sess.ID, tr.Events, 173)
+				for i := range wantPreds {
+					if got[i] != wantPreds[i] {
+						t.Fatalf("event %d: served prediction %#x != offline %#x",
+							i, got[i], wantPreds[i])
+					}
+				}
+				st := c.stats(sess.ID)
+				if st.TP != wantConf.TP || st.FP != wantConf.FP ||
+					st.TN != wantConf.TN || st.FN != wantConf.FN {
+					t.Fatalf("confusion mismatch: served {%d %d %d %d}, offline {%d %d %d %d}",
+						st.TP, st.FP, st.TN, st.FN,
+						wantConf.TP, wantConf.FP, wantConf.TN, wantConf.FN)
+				}
+				if st.Events != uint64(len(tr.Events)) {
+					t.Fatalf("events %d, want %d", st.Events, len(tr.Events))
+				}
+				if st.TableEntries != uint64(eng.TableEntries()) {
+					t.Fatalf("table entries %d, want %d (shards must partition, not replicate)",
+						st.TableEntries, eng.TableEntries())
+				}
+			})
+		}
+	}
+}
+
+// TestEquivalenceSecondWorkload runs the contract over a second sharing
+// structure (nearest-neighbour instead of producer-consumer) at the widest
+// shard count, with a default (deadline-based) flush.
+func TestEquivalenceSecondWorkload(t *testing.T) {
+	tr := genTrace(t, "ocean", 7)
+	m := core.Machine{Nodes: 16, LineBytes: 64}
+	sc, err := core.ParseScheme("union(dir+add8)2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := eval.NewEngine(sc, m)
+	wantPreds := make([]uint64, len(tr.Events))
+	for i, ev := range tr.Events {
+		wantPreds[i] = uint64(eng.Step(ev))
+	}
+
+	srv := serve.NewServer(serve.Options{})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+	sess := c.createSession(serve.CreateSessionRequest{Scheme: "union(dir+add8)2", Shards: 8})
+	got := c.postEvents(sess.ID, tr.Events, 512)
+	for i := range wantPreds {
+		if got[i] != wantPreds[i] {
+			t.Fatalf("event %d: served %#x != offline %#x", i, got[i], wantPreds[i])
+		}
+	}
+	st := c.stats(sess.ID)
+	if st.TP != eng.Confusion().TP || st.FN != eng.Confusion().FN {
+		t.Fatalf("confusion mismatch: %+v vs %+v", st, eng.Confusion())
+	}
+}

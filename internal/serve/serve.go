@@ -1,0 +1,374 @@
+// Package serve hosts live prediction engines behind a JSON HTTP API —
+// the repo's first long-lived process. The paper's predictors are
+// inherently online (each directory event trains and queries a live
+// table, §2–3), and this package is that vantage point as a service:
+//
+//	POST   /v1/sessions             create a session (scheme + machine)
+//	GET    /v1/sessions             list sessions
+//	POST   /v1/sessions/{id}/events ingest events (single or batched),
+//	                                returning predicted sharing bitmaps
+//	GET    /v1/sessions/{id}/stats  confusion / sensitivity / PVP summary
+//	DELETE /v1/sessions/{id}        drain and remove a session
+//	GET    /healthz                 liveness and drain state
+//	GET    /metrics                 Prometheus text (internal/obs)
+//	GET    /debug/pprof/...         runtime profiles
+//
+// The core is a sharded engine pool: events route to per-shard workers by
+// the dir+addr component of the predictor index key, so a session scales
+// across cores without locking the table (Router documents why the
+// partition preserves serial semantics exactly). Workers micro-batch
+// (flush on batch size or deadline), queues are bounded with explicit 429
+// backpressure, and drain is graceful: in-flight batches finish and their
+// statistics are published before workers exit.
+//
+// The service's determinism contract mirrors the sweep engine's: a trace
+// replayed through the API in order yields predictions and statistics
+// byte-identical to eval.Evaluate at any shard count.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cohpredict/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable: metrics go to a
+// nil (inert) registry and shard width defaults to the machine's cores.
+type Options struct {
+	// Registry receives the service's metrics; nil disables them.
+	Registry *obs.Registry
+	// Log receives request-level progress lines; nil is silent.
+	Log *obs.Logger
+	// DefaultShards is the shard count for sessions that don't request
+	// one; 0 means min(GOMAXPROCS, 8).
+	DefaultShards int
+	// MaxSessions bounds live sessions; 0 means 64.
+	MaxSessions int
+	// MaxBodyBytes bounds request bodies; 0 means 8 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the prediction service: a registry of live sessions plus the
+// HTTP handlers that drive them.
+type Server struct {
+	opts Options
+	om   *serveMetrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+	draining bool
+}
+
+// NewServer builds a server with the given options.
+func NewServer(opts Options) *Server {
+	if opts.DefaultShards <= 0 {
+		opts.DefaultShards = runtime.GOMAXPROCS(0)
+		if opts.DefaultShards > 8 {
+			opts.DefaultShards = 8
+		}
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 64
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	return &Server{
+		opts:     opts,
+		om:       newServeMetrics(opts.Registry),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Handler returns the service's full route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleCreateSession))
+	mux.HandleFunc("GET /v1/sessions", s.wrap(s.handleListSessions))
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.wrap(s.handleEvents))
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleDeleteSession))
+	mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.wrap(s.handleMetrics))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// apiError carries an HTTP status with an error; handlers return it to
+// pick a non-500 status.
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+func httpErr(status int, err error) error { return &apiError{status: status, err: err} }
+
+// wrap adapts an error-returning handler to http.HandlerFunc, mapping
+// session-layer sentinel errors to their HTTP statuses and counting
+// requests and error responses.
+func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.om.requestsTotal.Inc()
+		err := h(w, r)
+		if err == nil {
+			return
+		}
+		status := http.StatusInternalServerError
+		var ae *apiError
+		switch {
+		case errors.As(err, &ae):
+			status = ae.status
+		case errors.Is(err, ErrBacklog):
+			status = http.StatusTooManyRequests
+			s.om.backpressure.Inc()
+		case errors.Is(err, ErrDraining):
+			status = http.StatusServiceUnavailable
+		}
+		s.om.errorsTotal.Inc()
+		s.opts.Log.Debugf("serve: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encoding errors past the header are connection failures; nothing
+	// useful remains to report to the peer.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		return nil, httpErr(http.StatusRequestEntityTooLarge, fmt.Errorf("serve: reading body: %w", err))
+	}
+	return body, nil
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) error {
+	body, err := s.readBody(r)
+	if err != nil {
+		return err
+	}
+	var req CreateSessionRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return httpErr(http.StatusBadRequest, fmt.Errorf("serve: decoding session request: %w", err))
+	}
+	cfg, err := req.toSessionConfig(s.opts.DefaultShards)
+	if err != nil {
+		return httpErr(http.StatusBadRequest, err)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		return httpErr(http.StatusTooManyRequests,
+			fmt.Errorf("serve: session limit %d reached", s.opts.MaxSessions))
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	sess, err := NewSession(id, cfg, s.om)
+	if err != nil {
+		s.mu.Unlock()
+		return httpErr(http.StatusBadRequest, err)
+	}
+	s.sessions[id] = sess
+	active := len(s.sessions)
+	s.mu.Unlock()
+
+	s.om.sessionsTotal.Inc()
+	s.om.sessionsActive.Set(float64(active))
+	s.opts.Log.Infof("serve: session %s created: %s on %d nodes, %d shards",
+		id, sess.cfg.Scheme.FullString(), sess.cfg.Machine.Nodes, sess.cfg.Shards)
+	writeJSON(w, http.StatusCreated, sessionResponse(sess))
+	return nil
+}
+
+func sessionResponse(sess *Session) CreateSessionResponse {
+	cfg := sess.Config()
+	return CreateSessionResponse{
+		ID:          sess.ID,
+		Scheme:      cfg.Scheme.FullString(),
+		Nodes:       cfg.Machine.Nodes,
+		LineBytes:   cfg.Machine.LineBytes,
+		Shards:      cfg.Shards,
+		BatchSize:   cfg.BatchSize,
+		FlushMicros: int(cfg.Flush / time.Microsecond),
+		MaxPending:  cfg.MaxPending,
+	}
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) error {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	//predlint:ignore determinism keys are sorted before any output is produced
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sessions := make([]*Session, 0, len(ids))
+	sort.Strings(ids)
+	for _, id := range ids {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+
+	resp := SessionListResponse{Sessions: make([]CreateSessionResponse, len(sessions))}
+	for i, sess := range sessions {
+		resp.Sessions[i] = sessionResponse(sess)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// session resolves the {id} path value, or 404s.
+func (s *Server) session(r *http.Request) (*Session, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		return nil, httpErr(http.StatusNotFound, fmt.Errorf("serve: no session %q", id))
+	}
+	return sess, nil
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) error {
+	sess, err := s.session(r)
+	if err != nil {
+		return err
+	}
+	body, err := s.readBody(r)
+	if err != nil {
+		return err
+	}
+	evs, err := DecodeEvents(body, sess.cfg.Machine.Nodes)
+	if err != nil {
+		return httpErr(http.StatusBadRequest, err)
+	}
+	preds, err := sess.Post(evs)
+	if err != nil {
+		return err
+	}
+	resp := EventsResponse{Events: len(preds), Predictions: make([]uint64, len(preds))}
+	for i, p := range preds {
+		resp.Predictions[i] = uint64(p)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	sess, err := s.session(r)
+	if err != nil {
+		return err
+	}
+	st := sess.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		ID:           sess.ID,
+		Scheme:       sess.cfg.Scheme.FullString(),
+		Events:       st.Events,
+		TP:           st.Confusion.TP,
+		FP:           st.Confusion.FP,
+		TN:           st.Confusion.TN,
+		FN:           st.Confusion.FN,
+		Prevalence:   st.Confusion.Prevalence(),
+		Sensitivity:  st.Confusion.Sensitivity(),
+		PVP:          st.Confusion.PVP(),
+		TableEntries: st.TableEntries,
+		Shards:       st.Shards,
+	})
+	return nil
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) error {
+	sess, err := s.session(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.sessions, sess.ID)
+	active := len(s.sessions)
+	s.mu.Unlock()
+	sess.Close()
+	s.om.sessionsActive.Set(float64(active))
+	s.opts.Log.Infof("serve: session %s drained and removed (%d events)", sess.ID, sess.Stats().Events)
+	writeJSON(w, http.StatusOK, map[string]string{"id": sess.ID, "status": "drained"})
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	s.mu.Lock()
+	draining := s.draining
+	active := len(s.sessions)
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]interface{}{"status": state, "sessions": active})
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.opts.Registry.WritePrometheus(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sessions returns the number of live sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Shutdown drains the server: new sessions and new events are refused,
+// every live session drains (in-flight batches finish, statistics are
+// published), and the session registry empties. The HTTP listener itself
+// is the caller's to close (http.Server.Shutdown); call this after it.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	//predlint:ignore determinism drain order is immaterial: Close only joins workers
+	for id, sess := range s.sessions {
+		sessions = append(sessions, sess)
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+
+	for _, sess := range sessions {
+		sess.Close()
+	}
+	s.om.sessionsActive.Set(0)
+	s.opts.Log.Infof("serve: drained %d sessions", len(sessions))
+}

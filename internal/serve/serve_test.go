@@ -1,0 +1,224 @@
+package serve_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"cohpredict/internal/obs"
+	"cohpredict/internal/serve"
+)
+
+// TestAPIErrors walks the HTTP surface's failure modes: every bad input
+// maps to the documented status with a JSON error envelope, and nothing
+// leaks a 500.
+func TestAPIErrors(t *testing.T) {
+	srv := serve.NewServer(serve.Options{})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	valid := `{"scheme":"last(dir+add8)1"}`
+	sess := c.createSession(serve.CreateSessionRequest{Scheme: "last(dir+add8)1"})
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"create bad json", "POST", "/v1/sessions", `{`, 400},
+		{"create unknown scheme", "POST", "/v1/sessions", `{"scheme":"bogus(add8)1"}`, 400},
+		{"create unknown field", "POST", "/v1/sessions", `{"scheme":"last(add8)1","shardz":2}`, 400},
+		{"create bad nodes", "POST", "/v1/sessions", `{"scheme":"last(add8)1","nodes":999}`, 400},
+		{"create bad line size", "POST", "/v1/sessions", `{"scheme":"last(add8)1","line_bytes":17}`, 400},
+		{"create bad shards", "POST", "/v1/sessions", `{"scheme":"last(add8)1","shards":-1}`, 400},
+		{"create ok", "POST", "/v1/sessions", valid, 201},
+		{"events unknown session", "POST", "/v1/sessions/nope/events", `{"pid":0,"future_readers":0}`, 404},
+		{"events bad json", "POST", "/v1/sessions/" + sess.ID + "/events", `{"pid":`, 400},
+		{"events unknown field", "POST", "/v1/sessions/" + sess.ID + "/events", `{"pid":0,"pd":1}`, 400},
+		{"events trailing data", "POST", "/v1/sessions/" + sess.ID + "/events", `{"pid":0,"future_readers":0}[]`, 400},
+		{"events pid out of range", "POST", "/v1/sessions/" + sess.ID + "/events", `{"pid":16,"future_readers":0}`, 400},
+		{"events bitmap out of range", "POST", "/v1/sessions/" + sess.ID + "/events", `{"pid":0,"future_readers":65536}`, 400},
+		{"events empty body", "POST", "/v1/sessions/" + sess.ID + "/events", ``, 400},
+		{"stats unknown session", "GET", "/v1/sessions/nope/stats", "", 404},
+		{"delete unknown session", "DELETE", "/v1/sessions/nope", "", 404},
+		{"wrong method", "PUT", "/v1/sessions", valid, 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := c.do(tc.method, tc.path, []byte(tc.body), nil)
+			if got != tc.want {
+				t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSingleEventForm checks the endpoint's convenience form: one bare
+// JSON object ingests exactly one event and returns one prediction.
+func TestSingleEventForm(t *testing.T) {
+	srv := serve.NewServer(serve.Options{})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	sess := c.createSession(serve.CreateSessionRequest{Scheme: "last(add8)1", Nodes: 4})
+	var resp serve.EventsResponse
+	body := []byte(`{"pid":0,"pc":20,"dir":0,"addr":4096,"inv_readers":6,"future_readers":6}`)
+	if code := c.do("POST", "/v1/sessions/"+sess.ID+"/events", body, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Events != 1 || len(resp.Predictions) != 1 {
+		t.Fatalf("single event returned %d/%d predictions", resp.Events, len(resp.Predictions))
+	}
+	// Warm the entry, then the single form must predict the trained set
+	// minus the writer.
+	c.do("POST", "/v1/sessions/"+sess.ID+"/events", body, nil)
+	c.do("POST", "/v1/sessions/"+sess.ID+"/events", body, &resp)
+	if resp.Predictions[0] != 6 {
+		t.Fatalf("warm prediction %#x, want 6 (nodes {1,2})", resp.Predictions[0])
+	}
+}
+
+// TestBackpressure429 fills a deliberately tiny queue: a batch larger than
+// max_pending must be refused whole with 429 and leave the session's
+// accounting untouched.
+func TestBackpressure429(t *testing.T) {
+	srv := serve.NewServer(serve.Options{})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	sess := c.createSession(serve.CreateSessionRequest{
+		Scheme: "last(add8)1", MaxPending: 4,
+	})
+	body, err := jsonMarshal(wireEvents(hammerEvents(8, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := c.do("POST", "/v1/sessions/"+sess.ID+"/events", body, nil); code != 429 {
+		t.Fatalf("oversized batch: status %d, want 429", code)
+	}
+	st := c.stats(sess.ID)
+	if st.Events != 0 {
+		t.Fatalf("refused batch partially ingested: %d events", st.Events)
+	}
+	// A batch that fits still goes through.
+	small, _ := jsonMarshal(wireEvents(hammerEvents(4, 16)))
+	if code := c.do("POST", "/v1/sessions/"+sess.ID+"/events", small, nil); code != 200 {
+		t.Fatalf("fitting batch: status %d", code)
+	}
+}
+
+// TestSessionLimit429 checks the server-wide session cap.
+func TestSessionLimit429(t *testing.T) {
+	srv := serve.NewServer(serve.Options{MaxSessions: 1})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	c.createSession(serve.CreateSessionRequest{Scheme: "last(add8)1"})
+	body := []byte(`{"scheme":"last(add8)1"}`)
+	if code := c.do("POST", "/v1/sessions", body, nil); code != 429 {
+		t.Fatalf("over-limit create: status %d, want 429", code)
+	}
+}
+
+// TestDraining503 checks the drain protocol over HTTP: after Shutdown the
+// health endpoint reports draining and session creation is refused with
+// 503 (drained sessions themselves are gone, so their routes 404).
+func TestDraining503(t *testing.T) {
+	srv := serve.NewServer(serve.Options{})
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	sess := c.createSession(serve.CreateSessionRequest{Scheme: "last(add8)1"})
+	srv.Shutdown()
+
+	if code := c.do("GET", "/healthz", nil, nil); code != 503 {
+		t.Fatalf("healthz while draining: status %d, want 503", code)
+	}
+	if code := c.do("POST", "/v1/sessions", []byte(`{"scheme":"last(add8)1"}`), nil); code != 503 {
+		t.Fatalf("create while draining: status %d, want 503", code)
+	}
+	if code := c.do("GET", "/v1/sessions/"+sess.ID+"/stats", nil, nil); code != 404 {
+		t.Fatalf("stats on drained session: status %d, want 404", code)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("%d sessions survive shutdown", srv.Sessions())
+	}
+}
+
+// TestBodyLimit413 checks the request-size guard.
+func TestBodyLimit413(t *testing.T) {
+	srv := serve.NewServer(serve.Options{MaxBodyBytes: 128})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	sess := c.createSession(serve.CreateSessionRequest{Scheme: "last(add8)1"})
+	big, _ := jsonMarshal(wireEvents(hammerEvents(64, 16)))
+	if code := c.do("POST", "/v1/sessions/"+sess.ID+"/events", big, nil); code != 413 {
+		t.Fatalf("oversized body: status %d, want 413", code)
+	}
+}
+
+// TestMetricsEndpoint checks that the serve_* instrument family shows up
+// in Prometheus text once traffic has flowed.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.New()
+	srv := serve.NewServer(serve.Options{Registry: reg})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	sess := c.createSession(serve.CreateSessionRequest{Scheme: "last(add8)1"})
+	body, _ := jsonMarshal(wireEvents(hammerEvents(32, 16)))
+	c.do("POST", "/v1/sessions/"+sess.ID+"/events", body, nil)
+
+	req, err := http.NewRequest("GET", c.base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	text := string(buf[:n])
+	for _, want := range []string{
+		"serve_sessions_total", "serve_events_total", "serve_batches_total",
+		"serve_http_requests_total", "serve_batch_size",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %s:\n%s", want, text)
+		}
+	}
+}
+
+// TestSessionList checks ordering and contents of the listing endpoint.
+func TestSessionList(t *testing.T) {
+	srv := serve.NewServer(serve.Options{})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	first := c.createSession(serve.CreateSessionRequest{Scheme: "last(add8)1"})
+	second := c.createSession(serve.CreateSessionRequest{Scheme: "union(dir+add8)2", Shards: 2})
+	var list serve.SessionListResponse
+	if code := c.do("GET", "/v1/sessions", nil, &list); code != 200 {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(list.Sessions) != 2 {
+		t.Fatalf("%d sessions listed, want 2", len(list.Sessions))
+	}
+	if list.Sessions[0].ID != first.ID || list.Sessions[1].ID != second.ID {
+		t.Fatalf("listing out of order: %s, %s", list.Sessions[0].ID, list.Sessions[1].ID)
+	}
+	if list.Sessions[1].Shards != 2 {
+		t.Fatalf("listing lost config: %+v", list.Sessions[1])
+	}
+}

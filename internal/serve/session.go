@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/core"
+	"cohpredict/internal/metrics"
+	"cohpredict/internal/trace"
+)
+
+// Session limits and defaults. A session's queue is bounded: admission
+// reserves slots for a whole batch or rejects it outright (ErrBacklog →
+// 429), so a batch is never half-enqueued. Shard channels are sized to the
+// full pending limit, making every post-admission enqueue non-blocking
+// even if the router sends the entire queue to one shard.
+const (
+	DefaultShardBatch  = 256
+	DefaultFlushMicros = 200
+	DefaultMaxPending  = 1 << 14
+	MaxBatchEvents     = 1 << 16
+	maxShards          = 64
+)
+
+// ErrBacklog is returned when a batch would overflow the session's bounded
+// queue; the HTTP layer maps it to 429 Too Many Requests.
+var ErrBacklog = errors.New("serve: session queue full")
+
+// ErrDraining is returned once a session has begun draining; the HTTP
+// layer maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("serve: session draining")
+
+// SessionConfig parameterises a session (the JSON create request mirrors
+// it; zero values take the defaults above).
+type SessionConfig struct {
+	Scheme  core.Scheme
+	Machine core.Machine
+	// Shards is the engine-pool width. Sticky schemes are clamped to one
+	// shard (see Router). Results are byte-identical at any value.
+	Shards int
+	// BatchSize is the micro-batch flush threshold per shard worker.
+	BatchSize int
+	// Flush is the micro-batch deadline: a partial batch waits at most
+	// this long for stragglers. Zero flushes as soon as the queue empties.
+	Flush time.Duration
+	// MaxPending bounds the events admitted but not yet processed.
+	MaxPending int
+}
+
+func (c *SessionConfig) fillDefaults() error {
+	if err := c.Scheme.Validate(); err != nil {
+		return err
+	}
+	m := c.Machine
+	if m.Nodes <= 0 || m.Nodes > bitmap.MaxNodes {
+		return fmt.Errorf("serve: node count %d out of range [1,%d]", m.Nodes, bitmap.MaxNodes)
+	}
+	if m.LineBytes <= 0 || m.LineBytes&(m.LineBytes-1) != 0 {
+		return fmt.Errorf("serve: line size %d is not a positive power of two", m.LineBytes)
+	}
+	if c.Shards < 0 || c.Shards > maxShards {
+		return fmt.Errorf("serve: shard count %d out of range [0,%d]", c.Shards, maxShards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.BatchSize < 0 || c.BatchSize > MaxBatchEvents {
+		return fmt.Errorf("serve: batch size %d out of range [0,%d]", c.BatchSize, MaxBatchEvents)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultShardBatch
+	}
+	if c.Flush < 0 || c.Flush > time.Second {
+		return fmt.Errorf("serve: flush interval %v out of range [0,1s]", c.Flush)
+	}
+	if c.MaxPending < 0 || c.MaxPending > 1<<20 {
+		return fmt.Errorf("serve: max pending %d out of range [0,%d]", c.MaxPending, 1<<20)
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = DefaultMaxPending
+	}
+	return nil
+}
+
+// Session hosts one live prediction engine behind the API: a router plus a
+// pool of shard workers, each owning a disjoint partition of the predictor
+// table (see Router for why the partition preserves serial semantics).
+type Session struct {
+	ID     string
+	cfg    SessionConfig
+	router Router
+	shards []*shard
+
+	mu      sync.Mutex
+	pending int
+	closing bool
+	reqs    sync.WaitGroup
+	closed  chan struct{}
+
+	om *serveMetrics
+}
+
+// NewSession validates the config, builds the shard pool and starts its
+// workers.
+func NewSession(id string, cfg SessionConfig, om *serveMetrics) (*Session, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if om == nil {
+		om = newServeMetrics(nil)
+	}
+	router := NewRouter(cfg.Scheme, cfg.Machine, cfg.Shards)
+	cfg.Shards = router.Shards()
+	s := &Session{
+		ID:     id,
+		cfg:    cfg,
+		router: router,
+		shards: make([]*shard, router.Shards()),
+		closed: make(chan struct{}),
+		om:     om,
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard(i, cfg.Scheme, cfg.Machine, cfg.BatchSize, cfg.Flush, cfg.MaxPending, om)
+		go s.shards[i].run()
+	}
+	return s, nil
+}
+
+// Config returns the session's effective (default-filled) configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// admit reserves queue slots for n events, or reports why it cannot.
+func (s *Session) admit(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return ErrDraining
+	}
+	if s.pending+n > s.cfg.MaxPending {
+		return ErrBacklog
+	}
+	s.pending += n
+	s.reqs.Add(1)
+	return nil
+}
+
+func (s *Session) release(n int) {
+	s.mu.Lock()
+	s.pending -= n
+	s.mu.Unlock()
+	s.reqs.Done()
+}
+
+// Post ingests a batch of events in order and returns the predicted
+// sharing bitmap for each, writer-masked, exactly as eval.Engine.Step
+// would. Events are fanned out to the shard pool; Post returns only after
+// every event has been processed and scored, so a successful return means
+// the batch is fully reflected in Stats.
+func (s *Session) Post(evs []trace.Event) ([]bitmap.Bitmap, error) {
+	if len(evs) > MaxBatchEvents {
+		return nil, fmt.Errorf("serve: batch of %d events exceeds limit %d", len(evs), MaxBatchEvents)
+	}
+	if len(evs) == 0 {
+		return []bitmap.Bitmap{}, nil
+	}
+	if err := s.admit(len(evs)); err != nil {
+		return nil, err
+	}
+	defer s.release(len(evs))
+	s.om.queueDepth.Add(float64(len(evs)))
+	defer s.om.queueDepth.Add(-float64(len(evs)))
+
+	preds := make([]bitmap.Bitmap, len(evs))
+	var wg sync.WaitGroup
+	wg.Add(len(evs))
+	for i := range evs {
+		ev := &evs[i]
+		sh := s.shards[s.router.RouteEvent(ev)]
+		sh.in <- op{ev: ev, out: &preds[i], wg: &wg}
+	}
+	wg.Wait()
+	return preds, nil
+}
+
+// Stats is a session's aggregated (per-batch-published) state. While
+// traffic is in flight the snapshot trails the queue by at most one
+// micro-batch per shard; once every Post has returned it is exact.
+type Stats struct {
+	Confusion    metrics.Confusion
+	Events       uint64
+	TableEntries uint64
+	Shards       []ShardStats
+}
+
+// ShardStats is the published view of one shard of the pool.
+type ShardStats struct {
+	Events       uint64 `json:"events"`
+	TableEntries uint64 `json:"table_entries"`
+	BusyNS       int64  `json:"busy_ns"`
+}
+
+// Stats merges the shard pool's published tallies.
+func (s *Session) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(s.shards))}
+	for i, sh := range s.shards {
+		ss := sh.stats()
+		st.Confusion.Merge(ss.conf)
+		st.Events += ss.events
+		st.TableEntries += ss.entries
+		st.Shards[i] = ShardStats{Events: ss.events, TableEntries: ss.entries, BusyNS: ss.busyNS}
+	}
+	return st
+}
+
+// Close drains the session: new posts are refused with ErrDraining,
+// in-flight posts run to completion (their events processed and published),
+// then the shard workers exit. Safe to call more than once; every call
+// returns only after the drain has finished.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		<-s.closed
+		return
+	}
+	s.closing = true
+	s.mu.Unlock()
+
+	s.reqs.Wait()
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	close(s.closed)
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/metrics"
+	"cohpredict/internal/trace"
+)
+
+// op is one event in flight through a shard: a pointer into the request's
+// decoded event slice, the response slot the prediction lands in, and the
+// request's completion group. wg.Done both signals completion and provides
+// the happens-before edge for the handler to read the response slot.
+type op struct {
+	ev  *trace.Event
+	out *bitmap.Bitmap
+	wg  *sync.WaitGroup
+}
+
+// shard owns one partition of a session's predictor table and processes
+// its ops strictly FIFO. The worker goroutine is the only writer of the
+// table and the local tallies; after each micro-batch it publishes the
+// tallies to atomics the stats endpoint reads, so the hot loop itself is
+// free of atomics, locks, and allocation.
+type shard struct {
+	id     int
+	update core.UpdateMode
+	idx    core.IndexSpec
+	mach   core.Machine
+	table  core.Table
+
+	in    chan op
+	done  chan struct{}
+	batch int
+	flush time.Duration
+
+	// Worker-local state (owned by run's goroutine).
+	conf   metrics.Confusion
+	events uint64
+
+	// Published per batch, read by stats.
+	pubTP, pubFP, pubTN, pubFN atomic.Uint64
+	pubEvents, pubEntries      atomic.Uint64
+	pubBusyNS                  atomic.Int64
+
+	om *serveMetrics
+}
+
+func newShard(id int, s core.Scheme, m core.Machine, batch int, flush time.Duration, depth int, om *serveMetrics) *shard {
+	return &shard{
+		id:     id,
+		update: s.Update,
+		idx:    s.Index,
+		mach:   m,
+		table:  core.NewTable(s, m),
+		in:     make(chan op, depth),
+		done:   make(chan struct{}),
+		batch:  batch,
+		flush:  flush,
+		om:     om,
+	}
+}
+
+// run is the shard worker loop: block for one op, micro-batch more until
+// the batch size is reached, the flush deadline passes, or (flush == 0)
+// the queue momentarily empties, then process and publish. It exits when
+// the input channel closes, after draining and processing every remaining
+// op — drain never drops accepted work.
+func (s *shard) run() {
+	defer close(s.done)
+	buf := make([]op, 0, s.batch)
+	for {
+		o, ok := <-s.in
+		if !ok {
+			return
+		}
+		buf = append(buf[:0], o)
+		ok = s.fill(&buf)
+		s.flushBatch(buf)
+		if !ok {
+			return
+		}
+	}
+}
+
+// fill collects more ops into buf up to the batch size. With a positive
+// flush interval it waits for stragglers until the deadline; with zero it
+// drains whatever is immediately queued. It returns false when the input
+// channel has closed.
+func (s *shard) fill(buf *[]op) bool {
+	if s.flush <= 0 {
+		for len(*buf) < s.batch {
+			select {
+			case o, ok := <-s.in:
+				if !ok {
+					return false
+				}
+				*buf = append(*buf, o)
+			default:
+				return true
+			}
+		}
+		return true
+	}
+	timer := time.NewTimer(s.flush)
+	defer timer.Stop()
+	for len(*buf) < s.batch {
+		select {
+		case o, ok := <-s.in:
+			if !ok {
+				return false
+			}
+			*buf = append(*buf, o)
+		case <-timer.C:
+			return true
+		}
+	}
+	return true
+}
+
+// flushBatch processes one micro-batch, publishes the shard's tallies and
+// metrics, and only then releases the waiting handlers. The wall-clock
+// reads feed the obs busy-ns counter only, never results.
+func (s *shard) flushBatch(buf []op) {
+	start := time.Now()
+	s.process(buf)
+	busy := time.Since(start).Nanoseconds()
+
+	s.pubTP.Store(s.conf.TP)
+	s.pubFP.Store(s.conf.FP)
+	s.pubTN.Store(s.conf.TN)
+	s.pubFN.Store(s.conf.FN)
+	s.pubEvents.Store(s.events)
+	s.pubEntries.Store(uint64(s.table.Entries()))
+	s.pubBusyNS.Add(busy)
+
+	s.om.eventsTotal.Add(int64(len(buf)))
+	s.om.batchesTotal.Inc()
+	s.om.batchSize.Observe(float64(len(buf)))
+	s.om.shardBusyNS.Add(busy)
+
+	for i := range buf {
+		buf[i].wg.Done()
+	}
+}
+
+// process applies every op of the batch to the shard's table partition in
+// arrival order and scores the predictions into the worker-local tallies.
+// This is the serving hot path: one eval.Apply, one bitmap score, and one
+// response-slot store per event — no allocation, locks, or atomics.
+//
+//predlint:hotpath
+func (s *shard) process(buf []op) {
+	for i := range buf {
+		o := &buf[i]
+		pred := eval.Apply(s.update, s.idx, s.table, s.mach, o.ev)
+		s.conf.AddBitmaps(pred, o.ev.FutureReaders, s.mach.Nodes)
+		s.events++
+		*o.out = pred
+	}
+}
+
+// shardStats is the published (per-batch) view of one shard.
+type shardStats struct {
+	conf    metrics.Confusion
+	events  uint64
+	entries uint64
+	busyNS  int64
+}
+
+func (s *shard) stats() shardStats {
+	return shardStats{
+		conf: metrics.Confusion{
+			TP: s.pubTP.Load(),
+			FP: s.pubFP.Load(),
+			TN: s.pubTN.Load(),
+			FN: s.pubFN.Load(),
+		},
+		events:  s.pubEvents.Load(),
+		entries: s.pubEntries.Load(),
+		busyNS:  s.pubBusyNS.Load(),
+	}
+}

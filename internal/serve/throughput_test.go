@@ -1,0 +1,98 @@
+package serve_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cohpredict/internal/serve"
+)
+
+// TestThroughputFloor is the acceptance load test: the batched endpoint
+// must sustain at least 100k events/sec end to end (JSON in, sharded
+// prediction, JSON out) on the development machine. Skipped in -short
+// runs and under the race detector, where the floor would measure the
+// instrumentation instead of the service.
+func TestThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping load test in short mode")
+	}
+	if raceEnabled {
+		t.Skip("skipping load test under the race detector")
+	}
+
+	srv := serve.NewServer(serve.Options{})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+
+	sess := c.createSession(serve.CreateSessionRequest{
+		Scheme: "union(pid+dir+add10)2[forwarded]",
+		Shards: 4,
+	})
+
+	// Pre-encode request bodies so the floor measures the service, not
+	// the client's marshaller.
+	const batch = 4096
+	evs := hammerEvents(batch*4, 16)
+	wire := wireEvents(evs)
+	bodies := make([][]byte, 0, 4)
+	for lo := 0; lo+batch <= len(wire); lo += batch {
+		b, err := jsonMarshal(wire[lo : lo+batch])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, b)
+	}
+
+	// Warm up the connection pool and the predictor table.
+	c.do("POST", "/v1/sessions/"+sess.ID+"/events", bodies[0], nil)
+
+	const rounds = 16
+	start := time.Now()
+	var total uint64
+	for r := 0; r < rounds; r++ {
+		var resp serve.EventsResponse
+		if code := c.do("POST", "/v1/sessions/"+sess.ID+"/events", bodies[r%len(bodies)], &resp); code != 200 {
+			t.Fatalf("round %d: status %d", r, code)
+		}
+		total += uint64(resp.Events)
+	}
+	elapsed := time.Since(start)
+	rate := float64(total) / elapsed.Seconds()
+	t.Logf("sustained %.0f events/sec (%d events in %v)", rate, total, elapsed)
+	if rate < 100_000 {
+		t.Fatalf("throughput %.0f events/sec below the 100k floor", rate)
+	}
+}
+
+// BenchmarkPostBatched reports the end-to-end cost per event through the
+// HTTP path at a few shard widths (go test -bench=. -benchmem).
+func BenchmarkPostBatched(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv := serve.NewServer(serve.Options{})
+			defer srv.Shutdown()
+			c, closeTS := newClient(b, srv)
+			defer closeTS()
+
+			sess := c.createSession(serve.CreateSessionRequest{
+				Scheme: "union(pid+dir+add10)2[forwarded]", Shards: shards,
+			})
+			const batch = 1024
+			body, err := jsonMarshal(wireEvents(hammerEvents(batch, 16)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if code := c.do("POST", "/v1/sessions/"+sess.ID+"/events", body, nil); code != 200 {
+					b.Fatalf("status %d", code)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
