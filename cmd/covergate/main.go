@@ -1,0 +1,147 @@
+// Command covergate enforces per-package statement-coverage floors from a
+// Go cover profile. It is the CI coverage ratchet: floors sit a few points
+// below measured coverage, so refactors have headroom but a change that
+// lands a chunk of untested code fails the build.
+//
+//	go test -coverprofile=cover.out ./...
+//	covergate -profile cover.out internal/serve=85 internal/eval=88
+//
+// Each argument is pkg=minPercent, where pkg matches by import-path
+// suffix (internal/serve matches cohpredict/internal/serve). Coverage is
+// statement-weighted across all files of the package, exactly like the
+// percentage `go test -cover` prints. Exit status 1 if any floor is
+// broken or a gated package has no profile data at all.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+}
+
+type gate struct {
+	pkg string
+	min float64
+}
+
+func run() error {
+	profile := flag.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	flag.Parse()
+
+	gates := make([]gate, 0, flag.NArg())
+	for _, arg := range flag.Args() {
+		pkg, minS, ok := strings.Cut(arg, "=")
+		if !ok || pkg == "" {
+			return fmt.Errorf("want pkg=minPercent, got %q", arg)
+		}
+		min, err := strconv.ParseFloat(minS, 64)
+		if err != nil || min < 0 || min > 100 {
+			return fmt.Errorf("bad floor in %q: want a percentage in [0,100]", arg)
+		}
+		gates = append(gates, gate{pkg: pkg, min: min})
+	}
+	if len(gates) == 0 {
+		return fmt.Errorf("no gates given (want pkg=minPercent arguments)")
+	}
+
+	covered, total, err := readProfile(*profile)
+	if err != nil {
+		return err
+	}
+
+	broken := 0
+	for _, g := range gates {
+		var cov, tot int64
+		for pkg := range total {
+			if pkg == g.pkg || strings.HasSuffix(pkg, "/"+g.pkg) {
+				cov += covered[pkg]
+				tot += total[pkg]
+			}
+		}
+		if tot == 0 {
+			fmt.Printf("FAIL  %-20s no statements in profile (floor %.1f%%)\n", g.pkg, g.min)
+			broken++
+			continue
+		}
+		pct := 100 * float64(cov) / float64(tot)
+		verdict := "ok  "
+		if pct < g.min {
+			verdict = "FAIL"
+			broken++
+		}
+		fmt.Printf("%s  %-20s %5.1f%% of %d statements (floor %.1f%%)\n",
+			verdict, g.pkg, pct, tot, g.min)
+	}
+	if broken > 0 {
+		return fmt.Errorf("%d coverage floor(s) broken", broken)
+	}
+	return nil
+}
+
+// readProfile parses a cover profile into per-package covered and total
+// statement counts. Block format, one per line after the mode header:
+//
+//	import/path/file.go:startLine.startCol,endLine.endCol numStmts hitCount
+func readProfile(path string) (covered, total map[string]int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	covered = make(map[string]int64)
+	total = make(map[string]int64)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("%s:%d: no file separator", path, lineNo)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("%s:%d: want 'range numStmts hitCount', got %q", path, lineNo, rest)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: bad statement count: %w", path, lineNo, err)
+		}
+		hits, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: bad hit count: %w", path, lineNo, err)
+		}
+		pkg := file
+		if i := strings.LastIndex(file, "/"); i >= 0 {
+			pkg = file[:i]
+		}
+		total[pkg] += stmts
+		if hits > 0 {
+			covered[pkg] += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(total) == 0 {
+		return nil, nil, fmt.Errorf("%s: empty profile", path)
+	}
+	return covered, total, nil
+}

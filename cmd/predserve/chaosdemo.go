@@ -1,0 +1,197 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	resclient "cohpredict/internal/client"
+	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/fault"
+	"cohpredict/internal/machine"
+	"cohpredict/internal/obs"
+	"cohpredict/internal/serve"
+	"cohpredict/internal/trace"
+	"cohpredict/internal/workload"
+)
+
+// runChaosDemo is the -chaos-demo walkthrough: stream an em3d trace at a
+// server whose event path drops, delays, 500s, and resets requests, kill
+// the process mid-stream (checkpoint, no drain), restore the snapshot
+// into a second server at a different shard count, finish the stream —
+// then verify every served prediction and the final confusion tallies
+// against the fault-free offline engine. The whole run replays from the
+// one seed.
+func runChaosDemo(seed int64, logger *obs.Logger) error {
+	const (
+		schemeStr = "union(dir+add8)2[forwarded]"
+		shardsA   = 2
+		shardsB   = 5
+		chunk     = 173
+	)
+
+	// The workload and the golden path: a fault-free engine over the same
+	// trace is the ground truth the chaotic run must match byte for byte.
+	mach := machine.New(machine.DefaultConfig())
+	bench, err := workload.ByName("em3d", workload.ScaleTest)
+	if err != nil {
+		return err
+	}
+	bench.Run(mach, 16, 3)
+	tr := mach.Finish()
+
+	scheme, err := core.ParseScheme(schemeStr)
+	if err != nil {
+		return err
+	}
+	m := core.Machine{Nodes: 16, LineBytes: 64}
+	eng := eval.NewEngine(scheme, m)
+	wantPreds := make([]uint64, len(tr.Events))
+	for i, ev := range tr.Events {
+		wantPreds[i] = uint64(eng.Step(ev))
+	}
+	wantConf := eng.Confusion()
+
+	batches := (len(tr.Events) + chunk - 1) / chunk
+	inj := fault.New(fault.Config{
+		Seed:      seed,
+		Drop:      0.15,
+		Delay:     0.10,
+		MaxDelay:  200 * time.Microsecond,
+		Reset:     0.10,
+		Error:     0.10,
+		KillAfter: batches / 2,
+	}, nil)
+
+	fmt.Printf("chaos demo: %s, %d events in %d batches, seed %d\n",
+		schemeStr, len(tr.Events), batches, seed)
+	fmt.Printf("  injecting: drop 15%%, delay 10%%, 500s 10%%, resets 10%%, one kill at batch %d\n",
+		batches/2)
+
+	start := func(tag string) (*serve.Server, *http.Server, string, error) {
+		srv := serve.NewServer(serve.Options{Fault: inj, Log: logger})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, "", err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		base := "http://" + ln.Addr().String()
+		fmt.Printf("  server %s on %s\n", tag, base)
+		return srv, httpSrv, base, nil
+	}
+
+	srv, httpSrv, base, err := start("A")
+	if err != nil {
+		return err
+	}
+	cl := resclient.New(resclient.Options{BaseURL: base, Seed: seed, MaxRetries: 64})
+
+	sess, err := cl.CreateSession(serve.CreateSessionRequest{
+		Scheme: schemeStr, Nodes: 16, LineBytes: 64, Shards: shardsA, FlushMicros: -1,
+	})
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	id := sess.ID
+
+	wire := wireEvents(tr.Events)
+	preds := make([]uint64, 0, len(wire))
+	killed := false
+	for lo := 0; lo < len(wire); lo += chunk {
+		hi := lo + chunk
+		if hi > len(wire) {
+			hi = len(wire)
+		}
+		if inj.KillNow("chaos.kill") {
+			// Checkpoint and kill: the first server is abandoned without a
+			// drain, exactly like a crashed process, and a fresh one
+			// restores the snapshot at a different shard count.
+			snap, err := cl.Snapshot(id)
+			if err != nil {
+				return fmt.Errorf("snapshot before kill: %w", err)
+			}
+			httpSrv.Close()
+			_ = srv.Shutdown() // reap the abandoned workers
+
+			fmt.Printf("  KILL at batch %d: snapshot %d bytes, restoring at %d shards\n",
+				lo/chunk, len(snap), shardsB)
+			srv, httpSrv, base, err = start("B")
+			if err != nil {
+				return err
+			}
+			cl = resclient.New(resclient.Options{BaseURL: base, Seed: seed + 1, MaxRetries: 64})
+			if _, err := cl.Restore(id, snap, shardsB); err != nil {
+				return fmt.Errorf("restore after kill: %w", err)
+			}
+			killed = true
+		}
+		got, err := cl.PostEvents(id, wire[lo:hi])
+		if err != nil {
+			return fmt.Errorf("post batch at %d: %w", lo, err)
+		}
+		preds = append(preds, got...)
+	}
+
+	stats, err := cl.SessionStats(id)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	httpSrv.Close()
+	if err := srv.Shutdown(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+
+	f := inj.Stats()
+	cs := cl.Stats()
+	fmt.Printf("  faults fired: %d drops, %d delays, %d resets, %d injected 500s, %d kill\n",
+		f.Drops, f.Delays, f.Resets, f.Errors, f.Kills)
+	fmt.Printf("  client: %d requests, %d retries, %d idempotent replays\n",
+		cs.Requests, cs.Retries, cs.Replays)
+
+	if !killed {
+		return fmt.Errorf("chaos demo: the kill point never fired")
+	}
+	if f.Drops == 0 || f.Errors == 0 || f.Resets == 0 {
+		return fmt.Errorf("chaos demo: expected every fault class to fire: %+v", f)
+	}
+	if len(preds) != len(wantPreds) {
+		return fmt.Errorf("chaos demo: served %d predictions, want %d", len(preds), len(wantPreds))
+	}
+	for i := range preds {
+		if preds[i] != wantPreds[i] {
+			return fmt.Errorf("chaos demo: prediction %d diverged: got %#x, want %#x",
+				i, preds[i], wantPreds[i])
+		}
+	}
+	got := stats
+	if got.TP != wantConf.TP || got.FP != wantConf.FP || got.TN != wantConf.TN || got.FN != wantConf.FN ||
+		got.Events != uint64(len(tr.Events)) {
+		return fmt.Errorf("chaos demo: stats diverged: got %+v, want %+v over %d events",
+			got, wantConf, len(tr.Events))
+	}
+	fmt.Printf("  VERIFIED: all %d predictions and the confusion tallies match the fault-free engine\n",
+		len(preds))
+	return nil
+}
+
+// wireEvents converts simulator trace events to their API form.
+func wireEvents(evs []trace.Event) []serve.EventRequest {
+	out := make([]serve.EventRequest, len(evs))
+	for i, ev := range evs {
+		out[i] = serve.EventRequest{
+			PID:           ev.PID,
+			PC:            ev.PC,
+			Dir:           ev.Dir,
+			Addr:          ev.Addr,
+			InvReaders:    uint64(ev.InvReaders),
+			HasPrev:       ev.HasPrev,
+			PrevPID:       ev.PrevPID,
+			PrevPC:        ev.PrevPC,
+			FutureReaders: uint64(ev.FutureReaders),
+		}
+	}
+	return out
+}

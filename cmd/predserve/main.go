@@ -25,12 +25,22 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cohpredict/internal/eval"
+	"cohpredict/internal/fault"
 	"cohpredict/internal/obs"
 	"cohpredict/internal/serve"
 )
+
+// restoreSpec is one -restore flag value: boot the server with this
+// session already live, rebuilt from a snapshot file.
+type restoreSpec struct {
+	id   string
+	path string
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -47,7 +57,24 @@ func run() error {
 		obsOut  = flag.String("obs", "", "write the final observability snapshot to this JSON file on shutdown")
 		demo    = flag.Bool("demo", false, "start on a loopback port, run a scripted session against the API, print the stats, and exit")
 		version = flag.Bool("version", false, "print version and build identity, then exit")
+
+		chaosSeed     = flag.Int64("chaos-seed", 42, "seed for the fault injector; a chaos run replays from this value alone")
+		chaosDrop     = flag.Float64("chaos-drop", 0, "probability of dropping a batch at queue admission (503)")
+		chaosDelay    = flag.Float64("chaos-delay", 0, "probability of stalling a shard micro-batch")
+		chaosMaxDelay = flag.Duration("chaos-max-delay", 200*time.Microsecond, "upper bound of an injected shard stall")
+		chaosReset    = flag.Float64("chaos-reset", 0, "probability of resetting the connection after processing (lost response)")
+		chaosError    = flag.Float64("chaos-error", 0, "probability of failing an events request with an injected 500")
+		chaosDemo     = flag.Bool("chaos-demo", false, "run the seeded chaos walkthrough: drops+delays+500s+resets+one kill/restore, verified byte-identical against the offline engine, then exit")
 	)
+	var restores []restoreSpec
+	flag.Func("restore", "restore a session at boot from `id=snapshot-file` (repeatable)", func(v string) error {
+		id, path, ok := strings.Cut(v, "=")
+		if !ok || id == "" || path == "" {
+			return fmt.Errorf("want id=snapshot-file, got %q", v)
+		}
+		restores = append(restores, restoreSpec{id: id, path: path})
+		return nil
+	})
 	flag.Parse()
 
 	if *version {
@@ -62,14 +89,51 @@ func run() error {
 	logger := obs.NewLogger(level, func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})
+
+	if *chaosDemo {
+		return runChaosDemo(*chaosSeed, logger)
+	}
+
 	reg := obs.Default()
-	reg.SetManifest(obs.NewManifest(0, "serve", *shards))
+	var inj *fault.Injector
+	manifest := obs.NewManifest(0, "serve", *shards)
+	if *chaosDrop > 0 || *chaosDelay > 0 || *chaosReset > 0 || *chaosError > 0 {
+		inj = fault.New(fault.Config{
+			Seed:     *chaosSeed,
+			Drop:     *chaosDrop,
+			Delay:    *chaosDelay,
+			MaxDelay: *chaosMaxDelay,
+			Reset:    *chaosReset,
+			Error:    *chaosError,
+		}, reg)
+		manifest.ChaosSeed = *chaosSeed
+		logger.Infof("predserve: chaos injection enabled (seed %d): drop=%.2f delay=%.2f reset=%.2f error=%.2f",
+			*chaosSeed, *chaosDrop, *chaosDelay, *chaosReset, *chaosError)
+	}
+	reg.SetManifest(manifest)
 
 	srv := serve.NewServer(serve.Options{
 		Registry:      reg,
 		Log:           logger,
 		DefaultShards: *shards,
+		Fault:         inj,
 	})
+
+	for _, rs := range restores {
+		data, err := os.ReadFile(rs.path)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", rs.id, err)
+		}
+		snap, err := eval.DecodeSnapshot(data)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", rs.id, err)
+		}
+		sess, err := srv.RestoreSnapshot(rs.id, snap, nil)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", rs.id, err)
+		}
+		logger.Infof("predserve: restored session %s from %s (%d events)", rs.id, rs.path, sess.Stats().Events)
+	}
 
 	if *demo {
 		return runDemo(srv, logger)

@@ -1,0 +1,349 @@
+// Package client is a resilient Go client for the predserve API. It
+// exists because the chaos layer (internal/fault) makes the service
+// deliberately unreliable: batches are dropped at admission (503),
+// requests fail with injected 500s, and connections reset after the
+// engine already trained on the batch. The client turns that into an
+// exactly-once stream:
+//
+//   - every request gets a hard per-request timeout;
+//   - retryable failures (connection errors, 429, 500, 503) back off
+//     exponentially with deterministic, seeded jitter and retry up to a
+//     bound;
+//   - every event post carries an Idempotency-Key, so a batch whose
+//     response was lost after processing is replayed from the server's
+//     cache instead of training the engine twice.
+//
+// Determinism matters here the same way it does everywhere else in this
+// repo: a chaos run is an experiment, and experiments replay from their
+// seeds. Jitter comes from a seeded *rand.Rand, sleeping is injectable
+// (tests and the chaos hammer stub it out), and the transport disables
+// keep-alive connection reuse so Go's http.Transport never silently
+// retries a request on a dead connection — every retry is the client's
+// own, keyed, and accounted.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cohpredict/internal/serve"
+)
+
+// Defaults for the zero Options value.
+const (
+	DefaultTimeout     = 5 * time.Second
+	DefaultMaxRetries  = 8
+	DefaultBaseBackoff = 2 * time.Millisecond
+	DefaultMaxBackoff  = 250 * time.Millisecond
+)
+
+// Options configures a Client. The zero value works against a local
+// server with the defaults above.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Timeout bounds each HTTP attempt (not the whole retry loop).
+	Timeout time.Duration
+	// MaxRetries bounds retries per request (attempts = 1 + MaxRetries).
+	MaxRetries int
+	// BaseBackoff and MaxBackoff bound the exponential backoff schedule:
+	// attempt n sleeps a jittered Base<<n, capped at Max.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives backoff jitter and idempotency-key generation; two
+	// clients with the same seed issue the same keys and the same waits.
+	Seed int64
+	// Sleep, when non-nil, replaces time.Sleep in the backoff loop (the
+	// chaos tests count and skip the waits).
+	Sleep func(time.Duration)
+	// HTTP, when non-nil, replaces the default transport (which disables
+	// keep-alives; see the package comment).
+	HTTP *http.Client
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether err is worth retrying: transport-level
+// failures (resets, timeouts) and the service's transient statuses.
+// Other 4xx are the caller's bug and replay identically.
+func Retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case http.StatusTooManyRequests, http.StatusInternalServerError, http.StatusServiceUnavailable:
+			return true
+		}
+		return false
+	}
+	return err != nil
+}
+
+// Stats is the client's view of a retry loop's work.
+type Stats struct {
+	Requests int64 // HTTP attempts issued
+	Retries  int64 // attempts beyond the first
+	Replays  int64 // event posts retried under their idempotency key
+	SleptNS  int64 // total backoff requested
+}
+
+// Client talks to one predserve instance with retries and idempotency.
+// Safe for concurrent use; deterministic when driven sequentially.
+type Client struct {
+	opts Options
+	http *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	seq      atomic.Uint64
+	requests atomic.Int64
+	retries  atomic.Int64
+	replays  atomic.Int64
+	sleptNS  atomic.Int64
+}
+
+// New builds a client for the server at opts.BaseURL.
+func New(opts Options) *Client {
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	} else if opts.MaxRetries == 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = DefaultBaseBackoff
+	}
+	if opts.MaxBackoff < opts.BaseBackoff {
+		opts.MaxBackoff = DefaultMaxBackoff
+	}
+	h := opts.HTTP
+	if h == nil {
+		h = &http.Client{
+			Timeout:   opts.Timeout,
+			Transport: &http.Transport{DisableKeepAlives: true},
+		}
+	}
+	return &Client{
+		opts: opts,
+		http: h,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Stats returns the cumulative retry-loop tallies.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests: c.requests.Load(),
+		Retries:  c.retries.Load(),
+		Replays:  c.replays.Load(),
+		SleptNS:  c.sleptNS.Load(),
+	}
+}
+
+// backoff returns the jittered wait before retry attempt n (0-based):
+// uniform in [d/2, d] for d = min(Base<<n, Max), so waits grow but two
+// consecutive retries never synchronize exactly.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.opts.BaseBackoff << uint(n)
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	half := int64(d / 2)
+	c.mu.Lock()
+	j := c.rng.Int63n(half + 1)
+	c.mu.Unlock()
+	return time.Duration(half + j)
+}
+
+func (c *Client) sleep(d time.Duration) {
+	c.sleptNS.Add(int64(d))
+	if c.opts.Sleep != nil {
+		c.opts.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// NextIdempotencyKey mints the key the next keyless PostEvents would use:
+// seed-scoped and sequence-numbered, so a replayed run reissues the same
+// keys in the same order.
+func (c *Client) NextIdempotencyKey() string {
+	return fmt.Sprintf("%016x-%d", uint64(c.opts.Seed), c.seq.Add(1))
+}
+
+// do runs one retrying request. idemKey, when non-empty, is sent as the
+// Idempotency-Key header on every attempt. The response body (for 2xx) is
+// returned whole.
+func (c *Client) do(method, path string, body []byte, contentType, idemKey string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > c.opts.MaxRetries {
+				return nil, fmt.Errorf("client: %s %s: retries exhausted after %d attempts: %w",
+					method, path, attempt, lastErr)
+			}
+			c.retries.Add(1)
+			if idemKey != "" {
+				c.replays.Add(1)
+			}
+			c.sleep(c.backoff(attempt - 1))
+		}
+		c.requests.Add(1)
+		resp, err := c.attempt(method, path, body, contentType, idemKey)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !Retryable(err) {
+			return nil, err
+		}
+	}
+}
+
+func (c *Client) attempt(method, path string, body []byte, contentType, idemKey string) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.opts.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er serve.ErrorResponse
+		msg := string(data)
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	return data, nil
+}
+
+func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey string) error {
+	var body []byte
+	if reqBody != nil {
+		b, err := json.Marshal(reqBody)
+		if err != nil {
+			return err
+		}
+		body = b
+	}
+	data, err := c.do(method, path, body, "application/json", idemKey)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// CreateSession creates a session. Creation is not idempotent (each
+// success mints a new session), so it retries only transport-safe
+// failures: an ambiguous outcome returns the error instead of risking a
+// duplicate session.
+func (c *Client) CreateSession(req serve.CreateSessionRequest) (*serve.CreateSessionResponse, error) {
+	var out serve.CreateSessionResponse
+	if err := c.doJSON(http.MethodPost, "/v1/sessions", &req, &out, ""); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PostEvents posts a batch under a fresh idempotency key, retrying until
+// it is acknowledged: the engine trains on the batch exactly once no
+// matter how many responses were lost on the way.
+func (c *Client) PostEvents(id string, evs []serve.EventRequest) ([]uint64, error) {
+	return c.PostEventsKeyed(id, c.NextIdempotencyKey(), evs)
+}
+
+// PostEventsKeyed is PostEvents under a caller-chosen idempotency key
+// (replays across client restarts use the same key).
+func (c *Client) PostEventsKeyed(id, key string, evs []serve.EventRequest) ([]uint64, error) {
+	var out serve.EventsResponse
+	if err := c.doJSON(http.MethodPost, "/v1/sessions/"+id+"/events", evs, &out, key); err != nil {
+		return nil, err
+	}
+	return out.Predictions, nil
+}
+
+// Stats fetches the session's screening statistics.
+func (c *Client) SessionStats(id string) (*serve.StatsResponse, error) {
+	var out serve.StatsResponse
+	if err := c.doJSON(http.MethodGet, "/v1/sessions/"+id+"/stats", nil, &out, ""); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot quiesces the session and returns its binary snapshot.
+func (c *Client) Snapshot(id string) ([]byte, error) {
+	return c.do(http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, "", "")
+}
+
+// Restore creates session id from a binary snapshot; shards > 0 reshards
+// the restored session. 409 (id exists) is not retried.
+func (c *Client) Restore(id string, snap []byte, shards int) (*serve.CreateSessionResponse, error) {
+	path := "/v1/sessions/" + id + "/snapshot"
+	if shards > 0 {
+		path += "?shards=" + strconv.Itoa(shards)
+	}
+	data, err := c.do(http.MethodPut, path, snap, "application/octet-stream", "")
+	if err != nil {
+		return nil, err
+	}
+	var out serve.CreateSessionResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding restore response: %w", err)
+	}
+	return &out, nil
+}
+
+// DeleteSession drains and removes the session (404 after a successful
+// delete retry is treated as success — the delete happened).
+func (c *Client) DeleteSession(id string) error {
+	err := c.doJSON(http.MethodDelete, "/v1/sessions/"+id, nil, nil, "")
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+		return nil
+	}
+	return err
+}

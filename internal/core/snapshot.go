@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cohpredict/internal/bitmap"
+)
+
+// Table checkpointing. ExportTable/ImportTable move a predictor table's
+// entry states in and out of a flat, deterministic representation so a
+// live engine can be checkpointed and resumed byte-identically (the
+// serving layer's kill/restore path, internal/eval's snapshot codec).
+//
+// EntryState encodes one entry as a word slice whose layout depends on
+// the table kind:
+//
+//	history (last/union/inter): [n, bitmap_oldest, ..., bitmap_newest]
+//	pas:                        [depth, nodes, hist[0..nodes), counter[0..nodes<<depth)]
+//	sticky:                     [mask, trained, strikes[0..nodes)]
+//
+// Exported entries are sorted by key, making the representation — and
+// everything encoded from it — independent of map iteration order.
+
+// EntryState is the serialized state of one predictor entry.
+type EntryState struct {
+	Key   uint64
+	Words []uint64
+}
+
+// ExportTable returns the table's entry states sorted by key. Restoring
+// them with ImportTable into a fresh table of the same scheme yields a
+// table whose future predictions are identical.
+func ExportTable(t Table) ([]EntryState, error) {
+	switch tt := t.(type) {
+	case *historyTable:
+		out := make([]EntryState, 0, len(tt.entries))
+		for key, e := range tt.entries {
+			words := make([]uint64, 0, 1+e.Len())
+			words = append(words, uint64(e.Len()))
+			for i := e.Len() - 1; i >= 0; i-- { // oldest first
+				words = append(words, uint64(e.Recent(i)))
+			}
+			out = append(out, EntryState{Key: key, Words: words})
+		}
+		sortEntries(out)
+		return out, nil
+	case *pasTable:
+		out := make([]EntryState, 0, len(tt.entries))
+		for key, e := range tt.entries {
+			words := make([]uint64, 0, 2+len(e.hist)+len(e.counter))
+			words = append(words, uint64(e.depth), uint64(e.nodes))
+			for _, h := range e.hist {
+				words = append(words, uint64(h))
+			}
+			for _, c := range e.counter {
+				words = append(words, uint64(c))
+			}
+			out = append(out, EntryState{Key: key, Words: words})
+		}
+		sortEntries(out)
+		return out, nil
+	case *stickyTable:
+		out := make([]EntryState, 0, len(tt.entries))
+		for key, e := range tt.entries {
+			words := make([]uint64, 0, 2+tt.nodes)
+			var trained uint64
+			if e.trained {
+				trained = 1
+			}
+			words = append(words, uint64(e.mask), trained)
+			for n := 0; n < tt.nodes; n++ {
+				words = append(words, uint64(e.strikes[n]))
+			}
+			out = append(out, EntryState{Key: key, Words: words})
+		}
+		sortEntries(out)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: cannot export table of type %T", t)
+	}
+}
+
+func sortEntries(es []EntryState) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+}
+
+// ImportTable loads exported entry states into a fresh table. Every word
+// is validated against the table's own parameters; malformed state
+// returns an error and leaves no guarantee about partially-loaded
+// entries (callers discard the table on error).
+func ImportTable(t Table, entries []EntryState) error {
+	for i := range entries {
+		if err := importEntry(t, &entries[i]); err != nil {
+			return fmt.Errorf("core: entry %d (key %#x): %w", i, entries[i].Key, err)
+		}
+	}
+	return nil
+}
+
+func importEntry(t Table, es *EntryState) error {
+	switch tt := t.(type) {
+	case *historyTable:
+		if len(es.Words) < 1 {
+			return fmt.Errorf("history entry has no length word")
+		}
+		n := es.Words[0]
+		if n == 0 || n > MaxDepth {
+			return fmt.Errorf("history length %d out of range [1,%d]", n, MaxDepth)
+		}
+		if uint64(len(es.Words)) != 1+n {
+			return fmt.Errorf("history entry has %d words, want %d", len(es.Words), 1+n)
+		}
+		if _, dup := tt.entries[es.Key]; dup {
+			return fmt.Errorf("duplicate key")
+		}
+		e := &HistoryEntry{}
+		for _, w := range es.Words[1:] {
+			e.Push(bitmap.Bitmap(w))
+		}
+		tt.entries[es.Key] = e
+		return nil
+	case *pasTable:
+		if len(es.Words) < 2 {
+			return fmt.Errorf("pas entry too short")
+		}
+		depth, nodes := es.Words[0], es.Words[1]
+		if depth != uint64(tt.depth) || nodes != uint64(tt.nodes) {
+			return fmt.Errorf("pas entry shape depth=%d nodes=%d, table wants depth=%d nodes=%d",
+				depth, nodes, tt.depth, tt.nodes)
+		}
+		nc := nodes << depth
+		if uint64(len(es.Words)) != 2+nodes+nc {
+			return fmt.Errorf("pas entry has %d words, want %d", len(es.Words), 2+nodes+nc)
+		}
+		if _, dup := tt.entries[es.Key]; dup {
+			return fmt.Errorf("duplicate key")
+		}
+		e := NewPASEntry(tt.nodes, tt.depth)
+		histMax := uint64(1) << depth
+		for n := uint64(0); n < nodes; n++ {
+			h := es.Words[2+n]
+			if h >= histMax {
+				return fmt.Errorf("pas history register %d out of range [0,%d)", h, histMax)
+			}
+			e.hist[n] = uint8(h)
+		}
+		for j := uint64(0); j < nc; j++ {
+			c := es.Words[2+nodes+j]
+			if c > 3 {
+				return fmt.Errorf("pas counter %d exceeds the 2-bit range", c)
+			}
+			e.counter[j] = uint8(c)
+		}
+		tt.entries[es.Key] = e
+		return nil
+	case *stickyTable:
+		if len(es.Words) != 2+tt.nodes {
+			return fmt.Errorf("sticky entry has %d words, want %d", len(es.Words), 2+tt.nodes)
+		}
+		mask, trained := es.Words[0], es.Words[1]
+		if mask&^uint64(bitmap.Full(tt.nodes)) != 0 {
+			return fmt.Errorf("sticky mask %#x has bits beyond node %d", mask, tt.nodes-1)
+		}
+		if trained > 1 {
+			return fmt.Errorf("sticky trained flag %d is not boolean", trained)
+		}
+		if mask != 0 && trained == 0 {
+			return fmt.Errorf("sticky entry has a mask but is untrained")
+		}
+		if _, dup := tt.entries[es.Key]; dup {
+			return fmt.Errorf("duplicate key")
+		}
+		e := &StickyEntry{mask: bitmap.Bitmap(mask), trained: trained == 1}
+		for n := 0; n < tt.nodes; n++ {
+			s := es.Words[2+n]
+			if s >= StickyStrikes {
+				return fmt.Errorf("sticky strike count %d out of range [0,%d)", s, StickyStrikes)
+			}
+			e.strikes[n] = uint8(s)
+		}
+		tt.entries[es.Key] = e
+		return nil
+	default:
+		return fmt.Errorf("cannot import into table of type %T", t)
+	}
+}

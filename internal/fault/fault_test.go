@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"cohpredict/internal/obs"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	if inj.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if inj.Seed() != 0 {
+		t.Fatal("nil injector reports a seed")
+	}
+	if inj.Drop("x") || inj.Reset("x") || inj.ServerError("x") || inj.PanicNow("x") || inj.KillNow("x") {
+		t.Fatal("nil injector injected a fault")
+	}
+	if d := inj.Delay("x"); d != 0 {
+		t.Fatalf("nil injector injected a %v delay", d)
+	}
+	if got := inj.Stats(); got != (Stats{}) {
+		t.Fatalf("nil injector has stats %+v", got)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	inj := New(Config{Seed: 42}, nil)
+	if inj.Enabled() {
+		t.Fatal("zero-rate injector reports enabled")
+	}
+	for i := 0; i < 100; i++ {
+		if inj.Drop("a") || inj.Reset("a") || inj.ServerError("a") ||
+			inj.PanicNow("a") || inj.KillNow("a") || inj.Delay("a") != 0 {
+			t.Fatal("zero-rate injector injected a fault")
+		}
+	}
+}
+
+// drive records one site's decision stream across every fault class.
+func drive(inj *Injector, site string, n int) []bool {
+	out := make([]bool, 0, 4*n)
+	for i := 0; i < n; i++ {
+		out = append(out, inj.Drop(site), inj.Delay(site) > 0, inj.Reset(site), inj.ServerError(site))
+	}
+	return out
+}
+
+func TestSameSeedSameDecisions(t *testing.T) {
+	cfg := Config{Seed: 7, Drop: 0.3, Delay: 0.25, MaxDelay: time.Millisecond, Reset: 0.2, Error: 0.1}
+	a := drive(New(cfg, nil), "s", 500)
+	b := drive(New(cfg, nil), "s", 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically-seeded injectors", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c := drive(New(cfg2, nil), "s", 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 2000-decision streams")
+	}
+}
+
+// TestSiteIndependence is the property the per-site streams exist for: a
+// site's decisions do not depend on how often other sites were consulted
+// (shard delay draws vary with micro-batch coalescing; they must not
+// perturb the HTTP layer's drop/reset decisions).
+func TestSiteIndependence(t *testing.T) {
+	cfg := Config{Seed: 11, Drop: 0.5, Delay: 0.5, MaxDelay: time.Millisecond}
+	quiet := New(cfg, nil)
+	ref := drive(quiet, "victim", 200)
+
+	noisy := New(cfg, nil)
+	for i := 0; i < 1000; i++ {
+		noisy.Drop("other")
+		noisy.Delay("noise")
+	}
+	got := drive(noisy, "victim", 200)
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("decision %d at site \"victim\" changed because other sites were driven", i)
+		}
+	}
+}
+
+func TestRatesHonored(t *testing.T) {
+	const n = 20000
+	inj := New(Config{Seed: 3, Drop: 0.25}, nil)
+	drops := 0
+	for i := 0; i < n; i++ {
+		if inj.Drop("r") {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("drop rate %.4f far from configured 0.25", got)
+	}
+	if s := inj.Stats(); s.Drops != int64(drops) {
+		t.Fatalf("stats count %d drops, observed %d", s.Drops, drops)
+	}
+}
+
+func TestDelayBoundedAndCounted(t *testing.T) {
+	inj := New(Config{Seed: 5, Delay: 1.0, MaxDelay: 100 * time.Microsecond}, nil)
+	var total time.Duration
+	for i := 0; i < 1000; i++ {
+		d := inj.Delay("d")
+		if d <= 0 || d > 100*time.Microsecond {
+			t.Fatalf("delay %v outside (0, 100µs]", d)
+		}
+		total += d
+	}
+	s := inj.Stats()
+	if s.Delays != 1000 {
+		t.Fatalf("stats count %d delays, want 1000", s.Delays)
+	}
+	if s.DelayNS != int64(total) {
+		t.Fatalf("stats total %dns, observed %dns", s.DelayNS, total)
+	}
+}
+
+func TestPanicAndKillFireExactlyOnce(t *testing.T) {
+	inj := New(Config{Seed: 1, PanicAfter: 3, KillAfter: 5}, nil)
+	if !inj.Enabled() {
+		t.Fatal("PanicAfter/KillAfter alone should enable the injector")
+	}
+	var panics, kills []int
+	for i := 1; i <= 10; i++ {
+		if inj.PanicNow("p") {
+			panics = append(panics, i)
+		}
+		if inj.KillNow("k") {
+			kills = append(kills, i)
+		}
+	}
+	if len(panics) != 1 || panics[0] != 3 {
+		t.Fatalf("panic fired at calls %v, want exactly [3]", panics)
+	}
+	if len(kills) != 1 || kills[0] != 5 {
+		t.Fatalf("kill fired at calls %v, want exactly [5]", kills)
+	}
+	s := inj.Stats()
+	if s.Panics != 1 || s.Kills != 1 {
+		t.Fatalf("stats %+v, want one panic and one kill", s)
+	}
+}
+
+func TestObsCountersPublished(t *testing.T) {
+	reg := obs.New()
+	inj := New(Config{Seed: 9, Drop: 1.0, Error: 1.0}, reg)
+	for i := 0; i < 4; i++ {
+		inj.Drop("a")
+	}
+	inj.ServerError("b")
+	snap := reg.Snapshot()
+	if got := snap.Counters["fault_drops_total"]; got != 4 {
+		t.Fatalf("fault_drops_total = %d, want 4", got)
+	}
+	if got := snap.Counters["fault_errors_total"]; got != 1 {
+		t.Fatalf("fault_errors_total = %d, want 1", got)
+	}
+}

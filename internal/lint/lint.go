@@ -110,7 +110,7 @@ func DefaultConfig(root, modulePath string) *Config {
 		ModulePath: modulePath,
 		DeterministicPkgs: internal("bitmap", "trace", "cache", "machine", "eval",
 			"search", "metrics", "workload", "topology", "online", "cosmos",
-			"report", "experiments", "serve"),
+			"report", "experiments", "serve", "fault", "client"),
 		DeterminismSkipFiles: []string{"bench.go"},
 		ClockAllowlist: map[string]bool{
 			// The sweep engine times tasks and worker busy-ns for the obs

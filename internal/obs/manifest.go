@@ -11,12 +11,15 @@ import (
 // metric files across machines and commits: the simulation parameters plus
 // the build and host identity.
 type Manifest struct {
-	Seed      int64  `json:"seed"`
-	Scale     string `json:"scale"`
-	Workers   int    `json:"workers"`
+	Seed    int64  `json:"seed"`
+	Scale   string `json:"scale"`
+	Workers int    `json:"workers"`
+	// ChaosSeed is the fault injector's seed when the run had chaos
+	// injection enabled; a chaos run replays from this value alone.
+	ChaosSeed int64  `json:"chaos_seed,omitempty"`
 	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
 	// GitRevision is the VCS revision stamped by the go tool; empty for
 	// non-VCS builds (go run from a module cache, test binaries).
 	GitRevision string `json:"git_revision,omitempty"`

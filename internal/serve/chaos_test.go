@@ -1,0 +1,216 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	resclient "cohpredict/internal/client"
+	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/fault"
+	"cohpredict/internal/serve"
+	"cohpredict/internal/trace"
+)
+
+// chaosConfig builds the hammer's injector config: every fault class
+// enabled at rates high enough that a run of a few hundred batches sees
+// all of them, plus one process kill mid-stream.
+func chaosConfig(seed int64, killAfter int) fault.Config {
+	return fault.Config{
+		Seed:      seed,
+		Drop:      0.15,
+		Delay:     0.10,
+		MaxDelay:  200 * time.Microsecond,
+		Reset:     0.10,
+		Error:     0.10,
+		KillAfter: killAfter,
+	}
+}
+
+// chaosOutcome is everything one chaos run produced that a replay of the
+// same seed must reproduce.
+type chaosOutcome struct {
+	preds  []uint64
+	stats  serve.StatsResponse
+	faults fault.Stats
+}
+
+// runChaos replays tr through a chaos-injected server with a resilient
+// client: batches are dropped, delayed, failed with 500s, and acked with
+// connection resets; when the injector's kill point fires the server is
+// checkpointed, discarded without drain, and a fresh server restores the
+// snapshot (at restoreShards shards) to finish the stream.
+func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreShards int, seed int64) chaosOutcome {
+	t.Helper()
+	const chunk = 173
+	batches := (len(tr.Events) + chunk - 1) / chunk
+	if batches < 4 {
+		t.Fatalf("trace too small for a mid-stream kill: %d batches", batches)
+	}
+	inj := fault.New(chaosConfig(seed, batches/2), nil)
+
+	srv := serve.NewServer(serve.Options{Fault: inj})
+	ts := httptest.NewServer(srv.Handler())
+	cl := resclient.New(resclient.Options{
+		BaseURL:    ts.URL,
+		Seed:       seed,
+		MaxRetries: 64,
+		Sleep:      func(time.Duration) {}, // count, don't wait
+	})
+
+	sess, err := cl.CreateSession(serve.CreateSessionRequest{
+		Scheme: schemeStr, Nodes: 16, LineBytes: 64, Shards: shards, FlushMicros: -1,
+	})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	id := sess.ID
+
+	wire := wireEvents(tr.Events)
+	preds := make([]uint64, 0, len(tr.Events))
+	killed := false
+	for lo := 0; lo < len(wire); lo += chunk {
+		hi := lo + chunk
+		if hi > len(wire) {
+			hi = len(wire)
+		}
+		if inj.KillNow("chaos.kill") {
+			// Checkpoint, kill the process (no drain — the old server and
+			// its sessions are simply abandoned), restore elsewhere.
+			snap, err := cl.Snapshot(id)
+			if err != nil {
+				t.Fatalf("snapshot before kill: %v", err)
+			}
+			ts.Close()
+			_ = srv.Shutdown() // test hygiene only: reap the abandoned workers
+
+			srv = serve.NewServer(serve.Options{Fault: inj})
+			ts = httptest.NewServer(srv.Handler())
+			cl = resclient.New(resclient.Options{
+				BaseURL:    ts.URL,
+				Seed:       seed + 1, // fresh key space for the second life
+				MaxRetries: 64,
+				Sleep:      func(time.Duration) {},
+			})
+			if _, err := cl.Restore(id, snap, restoreShards); err != nil {
+				t.Fatalf("restore after kill: %v", err)
+			}
+			killed = true
+		}
+		got, err := cl.PostEvents(id, wire[lo:hi])
+		if err != nil {
+			t.Fatalf("post batch at %d: %v", lo, err)
+		}
+		preds = append(preds, got...)
+	}
+	if !killed {
+		t.Fatal("kill point never fired; the hammer did not exercise restore")
+	}
+
+	st, err := cl.SessionStats(id)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	ts.Close()
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("final shutdown: %v", err)
+	}
+	return chaosOutcome{preds: preds, stats: *st, faults: inj.Stats()}
+}
+
+// TestChaosEquivalence is the headline proof: under injected drops,
+// delays, 500s, connection resets (with client retries and idempotency
+// keys), and one mid-stream kill+checkpoint+restore, the served
+// predictions and final confusion counts are byte-identical to the
+// fault-free eval.Evaluate golden path — at 1, 2, and 8 shards, with the
+// restore landing on a different shard count than the kill.
+func TestChaosEquivalence(t *testing.T) {
+	tr := genTrace(t, "em3d", 3)
+	m := core.Machine{Nodes: 16, LineBytes: 64}
+
+	schemes := []string{
+		"union(dir+add8)2[forwarded]", // previous-writer training, dir+addr routed
+		"last(dir+add8)1",             // depth-1 direct baseline
+		"sticky(add8)1",               // spatial neighbours, pinned to one shard
+	}
+	// Restore deliberately reshards: the router must partition the
+	// restored keys exactly as it would have partitioned their events.
+	reshard := map[int]int{1: 2, 2: 8, 8: 1}
+
+	for _, schemeStr := range schemes {
+		sc, err := core.ParseScheme(schemeStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := eval.NewEngine(sc, m)
+		wantPreds := make([]uint64, len(tr.Events))
+		for i, ev := range tr.Events {
+			wantPreds[i] = uint64(eng.Step(ev))
+		}
+		wantConf := eng.Confusion()
+
+		for _, shards := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", schemeStr, shards), func(t *testing.T) {
+				out := runChaos(t, tr, schemeStr, shards, reshard[shards], 42)
+
+				// The chaos must actually have happened.
+				f := out.faults
+				if f.Drops == 0 || f.Errors == 0 || f.Resets == 0 || f.Kills != 1 {
+					t.Fatalf("fault mix too tame to prove anything: %+v", f)
+				}
+
+				if len(out.preds) != len(wantPreds) {
+					t.Fatalf("served %d predictions, want %d", len(out.preds), len(wantPreds))
+				}
+				for i := range wantPreds {
+					if out.preds[i] != wantPreds[i] {
+						t.Fatalf("event %d: chaos-served prediction %#x != fault-free %#x",
+							i, out.preds[i], wantPreds[i])
+					}
+				}
+				st := out.stats
+				if st.TP != wantConf.TP || st.FP != wantConf.FP ||
+					st.TN != wantConf.TN || st.FN != wantConf.FN {
+					t.Fatalf("confusion mismatch: chaos {%d %d %d %d}, fault-free {%d %d %d %d}",
+						st.TP, st.FP, st.TN, st.FN,
+						wantConf.TP, wantConf.FP, wantConf.TN, wantConf.FN)
+				}
+				if st.Events != uint64(len(tr.Events)) {
+					t.Fatalf("events %d, want %d (a batch double-trained or vanished)",
+						st.Events, len(tr.Events))
+				}
+			})
+		}
+	}
+}
+
+// TestChaosReproducible: the same chaos seed injects the same faults and
+// yields the same outcome. Delay draws are excluded — their call count
+// rides on micro-batch timing — but the decision faults (drops, 500s,
+// resets, kills) and every served byte must replay exactly.
+func TestChaosReproducible(t *testing.T) {
+	tr := genTrace(t, "em3d", 3)
+	a := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 1234)
+	b := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 1234)
+
+	if a.faults.Drops != b.faults.Drops || a.faults.Errors != b.faults.Errors ||
+		a.faults.Resets != b.faults.Resets || a.faults.Kills != b.faults.Kills {
+		t.Fatalf("fault decisions differ across identically-seeded runs:\n  %+v\n  %+v", a.faults, b.faults)
+	}
+	for i := range a.preds {
+		if a.preds[i] != b.preds[i] {
+			t.Fatalf("prediction %d differs across identically-seeded runs", i)
+		}
+	}
+	if a.stats.TP != b.stats.TP || a.stats.FN != b.stats.FN || a.stats.Events != b.stats.Events {
+		t.Fatalf("stats differ across identically-seeded runs")
+	}
+
+	c := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 5678)
+	if a.faults.Drops == c.faults.Drops && a.faults.Errors == c.faults.Errors &&
+		a.faults.Resets == c.faults.Resets {
+		t.Fatalf("different seeds injected identical fault mixes (%+v) — seed is not wired through", a.faults)
+	}
+}

@@ -22,6 +22,10 @@ type serveMetrics struct {
 	requestsTotal  *obs.Counter   // serve_http_requests_total
 	errorsTotal    *obs.Counter   // serve_http_errors_total: 4xx/5xx responses
 	shardBusyNS    *obs.Counter   // serve_shard_busy_ns_total
+	shardPanics    *obs.Counter   // serve_shard_panics_total: worker panics recovered
+	idemHits       *obs.Counter   // serve_idempotent_replays_total: batches served from cache
+	snapshots      *obs.Counter   // serve_snapshots_total
+	restores       *obs.Counter   // serve_restores_total
 }
 
 func newServeMetrics(r *obs.Registry) *serveMetrics {
@@ -36,5 +40,9 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 		requestsTotal:  r.Counter("serve_http_requests_total"),
 		errorsTotal:    r.Counter("serve_http_errors_total"),
 		shardBusyNS:    r.Counter("serve_shard_busy_ns_total"),
+		shardPanics:    r.Counter("serve_shard_panics_total"),
+		idemHits:       r.Counter("serve_idempotent_replays_total"),
+		snapshots:      r.Counter("serve_snapshots_total"),
+		restores:       r.Counter("serve_restores_total"),
 	}
 }

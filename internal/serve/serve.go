@@ -36,9 +36,13 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"cohpredict/internal/eval"
+	"cohpredict/internal/fault"
 	"cohpredict/internal/obs"
 )
 
@@ -56,6 +60,12 @@ type Options struct {
 	MaxSessions int
 	// MaxBodyBytes bounds request bodies; 0 means 8 MiB.
 	MaxBodyBytes int64
+	// Fault, when non-nil, injects chaos into the event path: 5xx and
+	// connection resets at the HTTP layer, drops at queue admission,
+	// delays and panics in the shard workers. Session-management routes
+	// (create, snapshot, delete) are never injected — only the
+	// idempotent event posts, which clients can retry safely.
+	Fault *fault.Injector
 }
 
 // Server is the prediction service: a registry of live sessions plus the
@@ -96,8 +106,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleCreateSession))
 	mux.HandleFunc("GET /v1/sessions", s.wrap(s.handleListSessions))
-	mux.HandleFunc("POST /v1/sessions/{id}/events", s.wrap(s.handleEvents))
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.faulty(s.wrap(s.handleEvents)))
 	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.wrap(s.handleSnapshotGet))
+	mux.HandleFunc("PUT /v1/sessions/{id}/snapshot", s.wrap(s.handleSnapshotPut))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleDeleteSession))
 	mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.wrap(s.handleMetrics))
@@ -138,13 +150,70 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) error) http.Han
 		case errors.Is(err, ErrBacklog):
 			status = http.StatusTooManyRequests
 			s.om.backpressure.Inc()
-		case errors.Is(err, ErrDraining):
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrSnapshotting), errors.Is(err, ErrInjected):
 			status = http.StatusServiceUnavailable
 		}
 		s.om.errorsTotal.Inc()
 		s.opts.Log.Debugf("serve: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
 		writeJSON(w, status, ErrorResponse{Error: err.Error()})
 	}
+}
+
+// faulty is the HTTP-layer chaos middleware, applied to the events route
+// only. Before the handler it may fail the request with an injected 500
+// (nothing processed — a retry is always safe); after the handler it may
+// tear the connection down without a response, modelling the
+// lost-response case where the batch WAS processed and only the
+// idempotency key makes the client's retry safe. The response is buffered
+// so the reset discards it whole rather than truncating it.
+func (s *Server) faulty(h http.HandlerFunc) http.HandlerFunc {
+	flt := s.opts.Fault
+	if !flt.Enabled() {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if flt.ServerError("http.error") {
+			s.om.errorsTotal.Inc()
+			writeJSON(w, http.StatusInternalServerError,
+				ErrorResponse{Error: "serve: injected fault: internal error"})
+			return
+		}
+		buf := &bufferedResponse{status: http.StatusOK}
+		h(buf, r)
+		if flt.Reset("http.reset") {
+			//predlint:ignore panicfree http.ErrAbortHandler is net/http's sanctioned abort
+			panic(http.ErrAbortHandler)
+		}
+		buf.flushTo(w)
+	}
+}
+
+// bufferedResponse holds a handler's full response so the chaos reset can
+// drop it atomically after the handler (and the engine work) finished.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header {
+	if b.header == nil {
+		b.header = make(http.Header)
+	}
+	return b.header
+}
+
+func (b *bufferedResponse) WriteHeader(status int) { b.status = status }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+func (b *bufferedResponse) flushTo(w http.ResponseWriter) {
+	dst := w.Header()
+	for k, vs := range b.header {
+		dst[k] = vs
+	}
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.body.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -179,6 +248,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) err
 	if err != nil {
 		return httpErr(http.StatusBadRequest, err)
 	}
+	cfg.Fault = s.opts.Fault
 
 	s.mu.Lock()
 	if s.draining {
@@ -270,7 +340,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return httpErr(http.StatusBadRequest, err)
 	}
-	preds, err := sess.Post(evs)
+	preds, err := sess.PostKeyed(r.Header.Get("Idempotency-Key"), evs)
 	if err != nil {
 		return err
 	}
@@ -314,11 +384,127 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) err
 	delete(s.sessions, sess.ID)
 	active := len(s.sessions)
 	s.mu.Unlock()
-	sess.Close()
+	closeErr := sess.Close()
 	s.om.sessionsActive.Set(float64(active))
+	if closeErr != nil {
+		// The session is gone either way, but a worker panic during its
+		// life must reach the caller, not vanish in the drain.
+		return closeErr
+	}
 	s.opts.Log.Infof("serve: session %s drained and removed (%d events)", sess.ID, sess.Stats().Events)
 	writeJSON(w, http.StatusOK, map[string]string{"id": sess.ID, "status": "drained"})
 	return nil
+}
+
+// handleSnapshotGet quiesces the session, serializes its full state in
+// the canonical snapshot wire form, and resumes it.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) error {
+	sess, err := s.session(r)
+	if err != nil {
+		return err
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	data := eval.EncodeSnapshot(snap)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+	s.opts.Log.Infof("serve: session %s snapshot: %d events, %d entries, %d bytes",
+		sess.ID, snap.Events, len(snap.Entries), len(data))
+	return nil
+}
+
+// handleSnapshotPut restores a snapshot into a NEW session named by the
+// path id (409 if it exists). Tuning comes from the snapshot; a ?shards=N
+// query restores onto a different shard width — results are identical
+// either way.
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	body, err := s.readBody(r)
+	if err != nil {
+		return err
+	}
+	snap, err := eval.DecodeSnapshot(body)
+	if err != nil {
+		return httpErr(http.StatusBadRequest, err)
+	}
+	var tune *SessionTuning
+	if sv := r.URL.Query().Get("shards"); sv != "" {
+		n, err := strconv.Atoi(sv)
+		if err != nil {
+			return httpErr(http.StatusBadRequest, fmt.Errorf("serve: shards query %q: %w", sv, err))
+		}
+		extra, err := decodeSessionExtra(snap.Extra)
+		if err != nil {
+			return httpErr(http.StatusBadRequest, err)
+		}
+		t := extra.tuning
+		t.Shards = n
+		tune = &t
+	}
+
+	sess, err := s.RestoreSnapshot(id, snap, tune)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusCreated, sessionResponse(sess))
+	return nil
+}
+
+// RestoreSnapshot registers a NEW session id rebuilt from a decoded
+// snapshot; tune, when non-nil, overrides the snapshot's tuning (restoring
+// onto a different shard count is legal and behaviour-preserving). It is
+// the programmatic face of PUT /v1/sessions/{id}/snapshot — the CLI's
+// -restore flag boots sessions through it before the listener opens.
+func (s *Server) RestoreSnapshot(id string, snap *eval.Snapshot, tune *SessionTuning) (*Session, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if s.sessions[id] != nil {
+		s.mu.Unlock()
+		return nil, httpErr(http.StatusConflict, fmt.Errorf("serve: session %q already exists", id))
+	}
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		return nil, httpErr(http.StatusTooManyRequests,
+			fmt.Errorf("serve: session limit %d reached", s.opts.MaxSessions))
+	}
+	sess, err := NewSessionFromSnapshot(id, snap, tune, s.opts.Fault, s.om)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, httpErr(http.StatusBadRequest, err)
+	}
+	s.sessions[id] = sess
+	// Keep generated ids clear of the restored one.
+	if n, ok := numericSessionID(id); ok && n > s.nextID {
+		s.nextID = n
+	}
+	active := len(s.sessions)
+	s.mu.Unlock()
+
+	s.om.sessionsTotal.Inc()
+	s.om.sessionsActive.Set(float64(active))
+	s.opts.Log.Infof("serve: session %s restored: %d events, %d entries, %d shards",
+		id, snap.Events, len(snap.Entries), sess.cfg.Shards)
+	return sess, nil
+}
+
+// numericSessionID extracts N from a generated-style id "sN".
+func numericSessionID(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
@@ -355,7 +541,9 @@ func (s *Server) Sessions() int {
 // every live session drains (in-flight batches finish, statistics are
 // published), and the session registry empties. The HTTP listener itself
 // is the caller's to close (http.Server.Shutdown); call this after it.
-func (s *Server) Shutdown() {
+// The returned error joins any shard worker panics the drained sessions
+// were carrying — a SIGTERM drain must not swallow them.
+func (s *Server) Shutdown() error {
 	s.mu.Lock()
 	s.draining = true
 	sessions := make([]*Session, 0, len(s.sessions))
@@ -366,9 +554,13 @@ func (s *Server) Shutdown() {
 	}
 	s.mu.Unlock()
 
+	var errs []error
 	for _, sess := range sessions {
-		sess.Close()
+		if err := sess.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", sess.ID, err))
+		}
 	}
 	s.om.sessionsActive.Set(0)
 	s.opts.Log.Infof("serve: drained %d sessions", len(sessions))
+	return errors.Join(errs...)
 }

@@ -8,6 +8,8 @@ import (
 
 	"cohpredict/internal/bitmap"
 	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/fault"
 	"cohpredict/internal/metrics"
 	"cohpredict/internal/trace"
 )
@@ -23,6 +25,11 @@ const (
 	DefaultMaxPending  = 1 << 14
 	MaxBatchEvents     = 1 << 16
 	maxShards          = 64
+
+	// maxIdemKeys bounds the per-session idempotency cache (FIFO
+	// eviction); maxIdemKeyLen bounds one key.
+	maxIdemKeys   = 1024
+	maxIdemKeyLen = 128
 )
 
 // ErrBacklog is returned when a batch would overflow the session's bounded
@@ -32,6 +39,15 @@ var ErrBacklog = errors.New("serve: session queue full")
 // ErrDraining is returned once a session has begun draining; the HTTP
 // layer maps it to 503 Service Unavailable.
 var ErrDraining = errors.New("serve: session draining")
+
+// ErrSnapshotting is returned while a session is quiesced for a snapshot;
+// the HTTP layer maps it to 503 (retryable — the session resumes).
+var ErrSnapshotting = errors.New("serve: session snapshotting")
+
+// ErrInjected is returned when the chaos injector drops a batch at queue
+// admission; the HTTP layer maps it to 503 (retryable — nothing was
+// trained).
+var ErrInjected = errors.New("serve: injected fault: batch dropped")
 
 // SessionConfig parameterises a session (the JSON create request mirrors
 // it; zero values take the defaults above).
@@ -48,6 +64,9 @@ type SessionConfig struct {
 	Flush time.Duration
 	// MaxPending bounds the events admitted but not yet processed.
 	MaxPending int
+	// Fault, when non-nil, injects chaos at the session's fault points
+	// (queue-admission drops, shard delays and panics).
+	Fault *fault.Injector
 }
 
 func (c *SessionConfig) fillDefaults() error {
@@ -85,6 +104,15 @@ func (c *SessionConfig) fillDefaults() error {
 	return nil
 }
 
+// idemEntry is one idempotency-cache slot. The winner of a key closes done
+// after filling preds; duplicates wait on done and return the cached
+// predictions without re-training the engine.
+type idemEntry struct {
+	done  chan struct{}
+	preds []bitmap.Bitmap
+	err   error
+}
+
 // Session hosts one live prediction engine behind the API: a router plus a
 // pool of shard workers, each owning a disjoint partition of the predictor
 // table (see Router for why the partition preserves serial semantics).
@@ -94,11 +122,24 @@ type Session struct {
 	router Router
 	shards []*shard
 
-	mu      sync.Mutex
-	pending int
-	closing bool
-	reqs    sync.WaitGroup
-	closed  chan struct{}
+	mu       sync.Mutex
+	pending  int
+	closing  bool
+	quiesced bool
+	reqs     sync.WaitGroup
+	closed   chan struct{}
+
+	// Tallies restored from a snapshot; added on top of the shard-pool
+	// tallies by Stats (restored history lives in the shard tables, but
+	// the scores that produced it belong to the pre-restore run).
+	baseConf   metrics.Confusion
+	baseEvents uint64
+
+	// Idempotency cache: key → completed (or in-flight) batch result, in
+	// FIFO insertion order for eviction.
+	idemMu    sync.Mutex
+	idem      map[string]*idemEntry
+	idemOrder []string
 
 	om *serveMetrics
 }
@@ -120,10 +161,11 @@ func NewSession(id string, cfg SessionConfig, om *serveMetrics) (*Session, error
 		router: router,
 		shards: make([]*shard, router.Shards()),
 		closed: make(chan struct{}),
+		idem:   make(map[string]*idemEntry),
 		om:     om,
 	}
 	for i := range s.shards {
-		s.shards[i] = newShard(i, cfg.Scheme, cfg.Machine, cfg.BatchSize, cfg.Flush, cfg.MaxPending, om)
+		s.shards[i] = newShard(i, cfg.Scheme, cfg.Machine, cfg.BatchSize, cfg.Flush, cfg.MaxPending, cfg.Fault, om)
 		go s.shards[i].run()
 	}
 	return s, nil
@@ -132,12 +174,20 @@ func NewSession(id string, cfg SessionConfig, om *serveMetrics) (*Session, error
 // Config returns the session's effective (default-filled) configuration.
 func (s *Session) Config() SessionConfig { return s.cfg }
 
-// admit reserves queue slots for n events, or reports why it cannot.
+// admit reserves queue slots for n events, or reports why it cannot. The
+// chaos drop point sits here: a dropped batch is refused before any slot
+// is reserved, so nothing is trained and the client's retry is safe.
 func (s *Session) admit(n int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closing {
 		return ErrDraining
+	}
+	if s.quiesced {
+		return ErrSnapshotting
+	}
+	if s.cfg.Fault.Drop("queue.admit") {
+		return ErrInjected
 	}
 	if s.pending+n > s.cfg.MaxPending {
 		return ErrBacklog
@@ -182,6 +232,67 @@ func (s *Session) Post(evs []trace.Event) ([]bitmap.Bitmap, error) {
 		sh.in <- op{ev: ev, out: &preds[i], wg: &wg}
 	}
 	wg.Wait()
+	if err := s.shardErr(); err != nil {
+		return nil, err
+	}
+	return preds, nil
+}
+
+// PostKeyed is Post with an idempotency key: the first arrival of a key
+// trains the engine; duplicates (client retries after a lost response)
+// wait for the original and return its cached predictions, never training
+// twice. A retryably-failed attempt releases the key so the retry can run.
+// An empty key degrades to plain Post.
+func (s *Session) PostKeyed(key string, evs []trace.Event) ([]bitmap.Bitmap, error) {
+	if key == "" {
+		return s.Post(evs)
+	}
+	if len(key) > maxIdemKeyLen {
+		return nil, fmt.Errorf("serve: idempotency key of %d bytes exceeds limit %d", len(key), maxIdemKeyLen)
+	}
+
+	s.idemMu.Lock()
+	if e, ok := s.idem[key]; ok {
+		s.idemMu.Unlock()
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		s.om.idemHits.Inc()
+		return e.preds, nil
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	s.idem[key] = e
+	s.idemOrder = append(s.idemOrder, key)
+	if len(s.idemOrder) > maxIdemKeys {
+		evict := s.idemOrder[0]
+		s.idemOrder = s.idemOrder[1:]
+		delete(s.idem, evict)
+	}
+	s.idemMu.Unlock()
+
+	preds, err := s.Post(evs)
+	if err != nil {
+		// Nothing was trained (drops and backlog refuse before enqueue;
+		// a shard failure poisons the whole session anyway): release the
+		// key so the client's retry re-runs instead of replaying an error.
+		s.idemMu.Lock()
+		if s.idem[key] == e {
+			delete(s.idem, key)
+			for i, k := range s.idemOrder {
+				if k == key {
+					s.idemOrder = append(s.idemOrder[:i], s.idemOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		s.idemMu.Unlock()
+		e.err = err
+		close(e.done)
+		return nil, err
+	}
+	e.preds = preds
+	close(e.done)
 	return preds, nil
 }
 
@@ -202,9 +313,12 @@ type ShardStats struct {
 	BusyNS       int64  `json:"busy_ns"`
 }
 
-// Stats merges the shard pool's published tallies.
+// Stats merges the shard pool's published tallies on top of any
+// snapshot-restored baseline.
 func (s *Session) Stats() Stats {
 	st := Stats{Shards: make([]ShardStats, len(s.shards))}
+	st.Confusion = s.baseConf
+	st.Events = s.baseEvents
 	for i, sh := range s.shards {
 		ss := sh.stats()
 		st.Confusion.Merge(ss.conf)
@@ -215,16 +329,168 @@ func (s *Session) Stats() Stats {
 	return st
 }
 
+// shardErr returns the first (by shard index) worker panic, if any.
+func (s *Session) shardErr() error {
+	for _, sh := range s.shards {
+		if err := sh.failure(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quiesce stops admission (mode: ErrSnapshotting) and waits until the
+// session is fully settled: every admitted batch processed and published,
+// every idempotency entry completed. The caller may then read shard state
+// directly — the reqs.Wait edge (worker wg.Done → Post wg.Wait → release
+// reqs.Done → reqs.Wait) orders all worker table writes before the reads.
+func (s *Session) quiesce() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	if s.quiesced {
+		s.mu.Unlock()
+		return ErrSnapshotting
+	}
+	s.quiesced = true
+	s.mu.Unlock()
+
+	s.reqs.Wait()
+	// Idempotency bookkeeping happens after Post returns (after reqs.Done),
+	// so entries may still be filling; wait for each.
+	s.idemMu.Lock()
+	pending := make([]*idemEntry, 0, len(s.idemOrder))
+	for _, k := range s.idemOrder {
+		pending = append(pending, s.idem[k])
+	}
+	s.idemMu.Unlock()
+	for _, e := range pending {
+		<-e.done
+	}
+	return nil
+}
+
+// resume re-opens admission after a snapshot.
+func (s *Session) resume() {
+	s.mu.Lock()
+	s.quiesced = false
+	s.mu.Unlock()
+}
+
+// Snapshot quiesces the session, captures its full state — scheme,
+// machine, merged predictor tables, tallies, tuning, and the idempotency
+// cache — and resumes. The snapshot restores (NewSessionFromSnapshot)
+// into a session whose future predictions and stats are byte-identical to
+// this one's, at any shard count.
+func (s *Session) Snapshot() (*eval.Snapshot, error) {
+	if err := s.quiesce(); err != nil {
+		return nil, err
+	}
+	defer s.resume()
+	if err := s.shardErr(); err != nil {
+		return nil, err
+	}
+
+	snap := &eval.Snapshot{
+		Scheme:  s.cfg.Scheme,
+		Machine: s.cfg.Machine,
+		Events:  s.baseEvents,
+		Conf:    s.baseConf,
+	}
+	for _, sh := range s.shards {
+		entries, err := core.ExportTable(sh.table)
+		if err != nil {
+			return nil, err
+		}
+		snap.Entries = append(snap.Entries, entries...)
+		ss := sh.stats()
+		snap.Conf.Merge(ss.conf)
+		snap.Events += ss.events
+	}
+	// Shards own disjoint key partitions; a single sort restores the
+	// canonical order the codec requires.
+	sortEntryStates(snap.Entries)
+	snap.Extra = encodeSessionExtra(s)
+	s.om.snapshots.Inc()
+	return snap, nil
+}
+
+// NewSessionFromSnapshot rebuilds a session from a snapshot. Tuning
+// (shards, batch size, flush, max pending) comes from the snapshot's
+// Extra section; tune, when non-nil, overrides it — restoring onto a
+// different shard count is legal and preserves byte-identical behaviour
+// (the router partitions the restored keys exactly as it would have
+// partitioned the events that created them).
+func NewSessionFromSnapshot(id string, snap *eval.Snapshot, tune *SessionTuning, flt *fault.Injector, om *serveMetrics) (*Session, error) {
+	extra, err := decodeSessionExtra(snap.Extra)
+	if err != nil {
+		return nil, err
+	}
+	if tune == nil {
+		tune = &extra.tuning
+	}
+	cfg := SessionConfig{
+		Scheme:     snap.Scheme,
+		Machine:    snap.Machine,
+		Shards:     tune.Shards,
+		BatchSize:  tune.BatchSize,
+		Flush:      tune.Flush,
+		MaxPending: tune.MaxPending,
+		Fault:      flt,
+	}
+	s, err := NewSession(id, cfg, om)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.importSnapshot(snap, extra); err != nil {
+		_ = s.Close() // the import error is the one to report
+		return nil, err
+	}
+	s.om.restores.Inc()
+	return s, nil
+}
+
+// importSnapshot loads entries, tallies, and the idempotency cache into a
+// freshly-built (never-posted-to) session. Safe without quiescing: the
+// shard workers have processed nothing, and the reqs edge of the first
+// Post orders these writes before any worker read.
+func (s *Session) importSnapshot(snap *eval.Snapshot, extra *sessionExtra) error {
+	perShard := make([][]core.EntryState, len(s.shards))
+	for _, es := range snap.Entries {
+		sh := s.router.Route(es.Key)
+		perShard[sh] = append(perShard[sh], es)
+	}
+	for i, sh := range s.shards {
+		if err := core.ImportTable(sh.table, perShard[i]); err != nil {
+			return err
+		}
+		sh.pubEntries.Store(uint64(sh.table.Entries()))
+	}
+	s.baseConf = snap.Conf
+	s.baseEvents = snap.Events
+	for _, it := range extra.idem {
+		e := &idemEntry{done: make(chan struct{}), preds: it.preds}
+		close(e.done)
+		s.idem[it.key] = e
+		s.idemOrder = append(s.idemOrder, it.key)
+	}
+	return nil
+}
+
 // Close drains the session: new posts are refused with ErrDraining,
 // in-flight posts run to completion (their events processed and published),
 // then the shard workers exit. Safe to call more than once; every call
-// returns only after the drain has finished.
-func (s *Session) Close() {
+// returns only after the drain has finished. The returned error surfaces
+// a shard worker panic (injected or real) that occurred at any point in
+// the session's life — drain must not swallow it.
+func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
 		<-s.closed
-		return
+		return s.shardErr()
 	}
 	s.closing = true
 	s.mu.Unlock()
@@ -237,4 +503,5 @@ func (s *Session) Close() {
 		<-sh.done
 	}
 	close(s.closed)
+	return s.shardErr()
 }

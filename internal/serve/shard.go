@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"cohpredict/internal/bitmap"
 	"cohpredict/internal/core"
 	"cohpredict/internal/eval"
+	"cohpredict/internal/fault"
 	"cohpredict/internal/metrics"
 	"cohpredict/internal/trace"
 )
@@ -39,53 +41,101 @@ type shard struct {
 	batch int
 	flush time.Duration
 
-	// Worker-local state (owned by run's goroutine).
+	// Worker-local state (owned by the worker goroutine).
 	conf   metrics.Confusion
 	events uint64
+	cur    []op // batch being processed; completed by recover on panic
+
+	// fail is set (once, before the pending ops are released) if the
+	// worker panics; Post and Close surface it.
+	fail atomic.Value
 
 	// Published per batch, read by stats.
 	pubTP, pubFP, pubTN, pubFN atomic.Uint64
 	pubEvents, pubEntries      atomic.Uint64
 	pubBusyNS                  atomic.Int64
 
+	flt                  *fault.Injector
+	delaySite, panicSite string
+
 	om *serveMetrics
 }
 
-func newShard(id int, s core.Scheme, m core.Machine, batch int, flush time.Duration, depth int, om *serveMetrics) *shard {
+func newShard(id int, s core.Scheme, m core.Machine, batch int, flush time.Duration, depth int, flt *fault.Injector, om *serveMetrics) *shard {
 	return &shard{
-		id:     id,
-		update: s.Update,
-		idx:    s.Index,
-		mach:   m,
-		table:  core.NewTable(s, m),
-		in:     make(chan op, depth),
-		done:   make(chan struct{}),
-		batch:  batch,
-		flush:  flush,
-		om:     om,
+		id:        id,
+		update:    s.Update,
+		idx:       s.Index,
+		mach:      m,
+		table:     core.NewTable(s, m),
+		in:        make(chan op, depth),
+		done:      make(chan struct{}),
+		batch:     batch,
+		flush:     flush,
+		flt:       flt,
+		delaySite: fmt.Sprintf("shard%d.delay", id),
+		panicSite: fmt.Sprintf("shard%d.panic", id),
+		om:        om,
 	}
 }
 
-// run is the shard worker loop: block for one op, micro-batch more until
-// the batch size is reached, the flush deadline passes, or (flush == 0)
-// the queue momentarily empties, then process and publish. It exits when
-// the input channel closes, after draining and processing every remaining
-// op — drain never drops accepted work.
+// run is the shard worker: loop until the input channel closes or a panic
+// escapes a batch. A panic does not kill the shard silently — loop's
+// recover records it, releases every pending op (with zero predictions
+// that Post never returns, see failure), and keeps consuming the queue so
+// producers never block; Close surfaces the failure to the caller.
 func (s *shard) run() {
 	defer close(s.done)
+	if s.loop() {
+		// Panic path: the queue must keep draining until the session
+		// closes it, or Post goroutines would wedge on a full channel.
+		for o := range s.in {
+			o.wg.Done()
+		}
+	}
+}
+
+// loop is the normal worker body: block for one op, micro-batch more until
+// the batch size is reached, the flush deadline passes, or (flush == 0)
+// the queue momentarily empties, then process and publish. It returns true
+// only when a panic was recovered (the channel may still be open).
+func (s *shard) loop() (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Record the failure first: the Dones below release Post's
+			// wg.Wait, and Post must observe the failure after it.
+			s.fail.Store(fmt.Errorf("serve: shard %d worker panicked: %v", s.id, r))
+			s.om.shardPanics.Inc()
+			for i := range s.cur {
+				s.cur[i].wg.Done()
+			}
+			s.cur = nil
+			panicked = true
+		}
+	}()
 	buf := make([]op, 0, s.batch)
 	for {
 		o, ok := <-s.in
 		if !ok {
-			return
+			return false
 		}
 		buf = append(buf[:0], o)
 		ok = s.fill(&buf)
+		s.cur = buf
 		s.flushBatch(buf)
+		s.cur = nil
 		if !ok {
-			return
+			return false
 		}
 	}
+}
+
+// failure returns the panic error that killed this shard's worker, if any.
+func (s *shard) failure() error {
+	if err, ok := s.fail.Load().(error); ok {
+		return err
+	}
+	return nil
 }
 
 // fill collects more ops into buf up to the batch size. With a positive
@@ -125,8 +175,19 @@ func (s *shard) fill(buf *[]op) bool {
 
 // flushBatch processes one micro-batch, publishes the shard's tallies and
 // metrics, and only then releases the waiting handlers. The wall-clock
-// reads feed the obs busy-ns counter only, never results.
+// reads feed the obs busy-ns counter only, never results. The two fault
+// hooks run before processing: an injected delay models a slow shard (it
+// cannot change results — ops are already ordered), and an injected panic
+// exercises the failure path above.
 func (s *shard) flushBatch(buf []op) {
+	if d := s.flt.Delay(s.delaySite); d > 0 {
+		time.Sleep(d)
+	}
+	if s.flt.PanicNow(s.panicSite) {
+		//predlint:ignore panicfree injected chaos panic; recovered and surfaced by loop
+		panic(fmt.Sprintf("injected fault (site %s)", s.panicSite))
+	}
+
 	start := time.Now()
 	s.process(buf)
 	busy := time.Since(start).Nanoseconds()

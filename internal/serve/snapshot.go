@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/core"
+)
+
+// Session snapshots ride on the eval snapshot codec: the engine state
+// (scheme, machine, tables, tallies) uses eval.EncodeSnapshot's canonical
+// wire form, and the serving-layer state — tuning and the idempotency
+// cache — is packed into its opaque Extra section by the helpers here, in
+// the same canonical uvarint style.
+
+// sessionExtraVersion versions the Extra section layout.
+const sessionExtraVersion = 1
+
+// SessionTuning is the restorable performance configuration of a session
+// (everything in SessionConfig that does not affect results).
+type SessionTuning struct {
+	Shards     int
+	BatchSize  int
+	Flush      time.Duration
+	MaxPending int
+}
+
+type idemItem struct {
+	key   string
+	preds []bitmap.Bitmap
+}
+
+type sessionExtra struct {
+	tuning SessionTuning
+	idem   []idemItem
+}
+
+// encodeSessionExtra packs the session's tuning and completed idempotency
+// entries. Callers hold the session quiesced, so every cached entry is
+// complete (done closed, preds final).
+func encodeSessionExtra(s *Session) []byte {
+	b := binary.AppendUvarint(nil, sessionExtraVersion)
+	b = binary.AppendUvarint(b, uint64(s.cfg.Shards))
+	b = binary.AppendUvarint(b, uint64(s.cfg.BatchSize))
+	b = binary.AppendUvarint(b, uint64(s.cfg.Flush))
+	b = binary.AppendUvarint(b, uint64(s.cfg.MaxPending))
+
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	b = binary.AppendUvarint(b, uint64(len(s.idemOrder)))
+	for _, k := range s.idemOrder {
+		e := s.idem[k]
+		b = binary.AppendUvarint(b, uint64(len(k)))
+		b = append(b, k...)
+		b = binary.AppendUvarint(b, uint64(len(e.preds)))
+		for _, p := range e.preds {
+			b = binary.AppendUvarint(b, uint64(p))
+		}
+	}
+	return b
+}
+
+// decodeSessionExtra unpacks an Extra section. An empty section yields
+// zero tuning (NewSession fills the defaults) and no cache — a snapshot
+// produced outside the serving layer restores cleanly.
+func decodeSessionExtra(data []byte) (*sessionExtra, error) {
+	x := &sessionExtra{}
+	if len(data) == 0 {
+		return x, nil
+	}
+	r := &extraReader{b: data}
+	if v := r.uvarint(); r.err == nil && v != sessionExtraVersion {
+		return nil, fmt.Errorf("serve: snapshot extra version %d not supported", v)
+	}
+	x.tuning.Shards = int(r.uvarint())
+	x.tuning.BatchSize = int(r.uvarint())
+	x.tuning.Flush = time.Duration(r.uvarint())
+	x.tuning.MaxPending = int(r.uvarint())
+	n := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > maxIdemKeys {
+		return nil, fmt.Errorf("serve: snapshot idempotency cache of %d keys exceeds limit %d", n, maxIdemKeys)
+	}
+	seen := make(map[string]bool, n)
+	x.idem = make([]idemItem, 0, n)
+	for i := uint64(0); i < n; i++ {
+		kl := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if kl == 0 || kl > maxIdemKeyLen {
+			return nil, fmt.Errorf("serve: snapshot idempotency key length %d out of range [1,%d]", kl, maxIdemKeyLen)
+		}
+		key := r.bytes(int(kl))
+		np := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if np > MaxBatchEvents {
+			return nil, fmt.Errorf("serve: snapshot idempotency entry of %d predictions exceeds limit %d", np, MaxBatchEvents)
+		}
+		preds := make([]bitmap.Bitmap, np)
+		for j := range preds {
+			preds[j] = bitmap.Bitmap(r.uvarint())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if seen[string(key)] {
+			return nil, fmt.Errorf("serve: snapshot idempotency key %q duplicated", key)
+		}
+		seen[string(key)] = true
+		x.idem = append(x.idem, idemItem{key: string(key), preds: preds})
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("serve: snapshot extra section has %d trailing bytes", len(r.b))
+	}
+	return x, nil
+}
+
+type extraReader struct {
+	b   []byte
+	err error
+}
+
+func (r *extraReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = fmt.Errorf("serve: snapshot extra section truncated")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *extraReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.b) {
+		r.err = fmt.Errorf("serve: snapshot extra section truncated")
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func sortEntryStates(es []core.EntryState) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+}
