@@ -8,7 +8,9 @@
 //   - every request gets a hard per-request timeout;
 //   - retryable failures (connection errors, 429, 500, 503) back off
 //     exponentially with deterministic, seeded jitter and retry up to a
-//     bound;
+//     bound — except on non-idempotent requests (create, restore), which
+//     retry only provably state-free refusals (429, 503), never an
+//     ambiguous transport failure;
 //   - every event post carries an Idempotency-Key, so a batch whose
 //     response was lost after processing is replayed from the server's
 //     cache instead of training the engine twice.
@@ -73,6 +75,7 @@ type Options struct {
 // APIError is a non-2xx response from the service.
 type APIError struct {
 	Status  int
+	Code    string // machine classifier from the error envelope, if any
 	Message string
 }
 
@@ -82,10 +85,15 @@ func (e *APIError) Error() string {
 
 // Retryable reports whether err is worth retrying: transport-level
 // failures (resets, timeouts) and the service's transient statuses.
-// Other 4xx are the caller's bug and replay identically.
+// Other 4xx are the caller's bug and replay identically, and a response
+// coded CodeShardFailed marks a permanently poisoned session — retrying
+// it can only fail again.
 func Retryable(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
+		if ae.Code == serve.CodeShardFailed {
+			return false
+		}
 		switch ae.Status {
 		case http.StatusTooManyRequests, http.StatusInternalServerError, http.StatusServiceUnavailable:
 			return true
@@ -93,6 +101,17 @@ func Retryable(err error) bool {
 		return false
 	}
 	return err != nil
+}
+
+// retrySafeResponse reports whether err is an error *response* proving the
+// server did not act: 429 and 503 are refusals issued before any state
+// change, so even a non-idempotent request may retry them. A transport
+// failure is ambiguous — the server may have acted and only the response
+// was lost — and is never retried under this policy.
+func retrySafeResponse(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) &&
+		(ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable)
 }
 
 // Stats is the client's view of a retry loop's work.
@@ -190,10 +209,11 @@ func (c *Client) NextIdempotencyKey() string {
 	return fmt.Sprintf("%016x-%d", uint64(c.opts.Seed), c.seq.Add(1))
 }
 
-// do runs one retrying request. idemKey, when non-empty, is sent as the
-// Idempotency-Key header on every attempt. The response body (for 2xx) is
-// returned whole.
-func (c *Client) do(method, path string, body []byte, contentType, idemKey string) ([]byte, error) {
+// do runs one retrying request under the given retry policy (Retryable
+// for idempotent requests, retrySafeResponse for non-idempotent ones).
+// idemKey, when non-empty, is sent as the Idempotency-Key header on every
+// attempt. The response body (for 2xx) is returned whole.
+func (c *Client) do(method, path string, body []byte, contentType, idemKey string, retry func(error) bool) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -213,7 +233,7 @@ func (c *Client) do(method, path string, body []byte, contentType, idemKey strin
 			return resp, nil
 		}
 		lastErr = err
-		if !Retryable(err) {
+		if !retry(err) {
 			return nil, err
 		}
 	}
@@ -249,12 +269,12 @@ func (c *Client) attempt(method, path string, body []byte, contentType, idemKey 
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return nil, &APIError{Status: resp.StatusCode, Message: msg}
+		return nil, &APIError{Status: resp.StatusCode, Code: er.Code, Message: msg}
 	}
 	return data, nil
 }
 
-func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey string) error {
+func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey string, retry func(error) bool) error {
 	var body []byte
 	if reqBody != nil {
 		b, err := json.Marshal(reqBody)
@@ -263,7 +283,7 @@ func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey s
 		}
 		body = b
 	}
-	data, err := c.do(method, path, body, "application/json", idemKey)
+	data, err := c.do(method, path, body, "application/json", idemKey, retry)
 	if err != nil {
 		return err
 	}
@@ -277,12 +297,14 @@ func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey s
 }
 
 // CreateSession creates a session. Creation is not idempotent (each
-// success mints a new session), so it retries only transport-safe
-// failures: an ambiguous outcome returns the error instead of risking a
-// duplicate session.
+// success mints a new session), so it retries only error responses that
+// prove the server did nothing — 429 (session limit) and 503 (draining).
+// A transport failure is ambiguous (the server may have created the
+// session before the response was lost) and returns the error instead of
+// risking a duplicate session.
 func (c *Client) CreateSession(req serve.CreateSessionRequest) (*serve.CreateSessionResponse, error) {
 	var out serve.CreateSessionResponse
-	if err := c.doJSON(http.MethodPost, "/v1/sessions", &req, &out, ""); err != nil {
+	if err := c.doJSON(http.MethodPost, "/v1/sessions", &req, &out, "", retrySafeResponse); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -299,7 +321,7 @@ func (c *Client) PostEvents(id string, evs []serve.EventRequest) ([]uint64, erro
 // (replays across client restarts use the same key).
 func (c *Client) PostEventsKeyed(id, key string, evs []serve.EventRequest) ([]uint64, error) {
 	var out serve.EventsResponse
-	if err := c.doJSON(http.MethodPost, "/v1/sessions/"+id+"/events", evs, &out, key); err != nil {
+	if err := c.doJSON(http.MethodPost, "/v1/sessions/"+id+"/events", evs, &out, key, Retryable); err != nil {
 		return nil, err
 	}
 	return out.Predictions, nil
@@ -308,7 +330,7 @@ func (c *Client) PostEventsKeyed(id, key string, evs []serve.EventRequest) ([]ui
 // Stats fetches the session's screening statistics.
 func (c *Client) SessionStats(id string) (*serve.StatsResponse, error) {
 	var out serve.StatsResponse
-	if err := c.doJSON(http.MethodGet, "/v1/sessions/"+id+"/stats", nil, &out, ""); err != nil {
+	if err := c.doJSON(http.MethodGet, "/v1/sessions/"+id+"/stats", nil, &out, "", Retryable); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -316,17 +338,20 @@ func (c *Client) SessionStats(id string) (*serve.StatsResponse, error) {
 
 // Snapshot quiesces the session and returns its binary snapshot.
 func (c *Client) Snapshot(id string) ([]byte, error) {
-	return c.do(http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, "", "")
+	return c.do(http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, "", "", Retryable)
 }
 
 // Restore creates session id from a binary snapshot; shards > 0 reshards
-// the restored session. 409 (id exists) is not retried.
+// the restored session. Like CreateSession it retries only provably
+// state-free refusals (429, 503): a blind retry of a PUT whose response
+// was lost would turn the success into a spurious 409, so a transport
+// failure surfaces as-is.
 func (c *Client) Restore(id string, snap []byte, shards int) (*serve.CreateSessionResponse, error) {
 	path := "/v1/sessions/" + id + "/snapshot"
 	if shards > 0 {
 		path += "?shards=" + strconv.Itoa(shards)
 	}
-	data, err := c.do(http.MethodPut, path, snap, "application/octet-stream", "")
+	data, err := c.do(http.MethodPut, path, snap, "application/octet-stream", "", retrySafeResponse)
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +365,7 @@ func (c *Client) Restore(id string, snap []byte, shards int) (*serve.CreateSessi
 // DeleteSession drains and removes the session (404 after a successful
 // delete retry is treated as success — the delete happened).
 func (c *Client) DeleteSession(id string) error {
-	err := c.doJSON(http.MethodDelete, "/v1/sessions/"+id, nil, nil, "")
+	err := c.doJSON(http.MethodDelete, "/v1/sessions/"+id, nil, nil, "", Retryable)
 	var ae *APIError
 	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
 		return nil

@@ -155,12 +155,92 @@ func TestRetryableClassification(t *testing.T) {
 		{&APIError{Status: 429}, true},
 		{&APIError{Status: 500}, true},
 		{&APIError{Status: 503}, true},
-		{http.ErrHandlerTimeout, true}, // any transport-level error
+		{&APIError{Status: 500, Code: serve.CodeShardFailed}, false}, // poisoned session: permanent
+		{http.ErrHandlerTimeout, true},                               // any transport-level error
 	}
 	for _, tc := range cases {
 		if got := Retryable(tc.err); got != tc.want {
 			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
 		}
+	}
+}
+
+// TestCreateSessionNotRetriedOnTransportError: a transport failure on a
+// non-idempotent create is ambiguous — the server may already hold the
+// session — so it surfaces after one attempt instead of risking
+// duplicates. The same failure on an idempotent keyed post is retried.
+func TestCreateSessionNotRetriedOnTransportError(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("response writer is not a hijacker")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Close() // reset before any response: the outcome is ambiguous
+	}))
+	defer ts.Close()
+
+	c := New(Options{BaseURL: ts.URL, MaxRetries: 2, Sleep: func(time.Duration) {}})
+	if _, err := c.CreateSession(serve.CreateSessionRequest{Scheme: "last(add8)1"}); err == nil {
+		t.Fatal("create against a connection-dropping server succeeded")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d create attempts, want 1 (ambiguous outcome must not retry)", hits.Load())
+	}
+
+	hits.Store(0)
+	if _, err := c.PostEvents("s1", nil); err == nil {
+		t.Fatal("post against a connection-dropping server succeeded")
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d post attempts, want 1+MaxRetries = 3 (keyed posts retry transport errors)", hits.Load())
+	}
+}
+
+// TestCreateSessionRetryPolicy: 429 and 503 responses prove the server
+// refused before any state change, so creation retries them; a 500 (or
+// any other response) is not provably state-free and is not retried.
+func TestCreateSessionRetryPolicy(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.Write([]byte(`{"id":"s1","scheme":"last(add8)1","nodes":16,"line_bytes":64,"shards":1}`))
+		}
+	}))
+	defer ts.Close()
+	c := New(Options{BaseURL: ts.URL, Sleep: func(time.Duration) {}})
+	out, err := c.CreateSession(serve.CreateSessionRequest{Scheme: "last(add8)1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != "s1" || hits.Load() != 3 {
+		t.Fatalf("id %q after %d attempts, want s1 after 3 (503 and 429 retried)", out.ID, hits.Load())
+	}
+
+	var hits500 atomic.Int32
+	ts500 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits500.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts500.Close()
+	c500 := New(Options{BaseURL: ts500.URL, Sleep: func(time.Duration) {}})
+	if _, err := c500.CreateSession(serve.CreateSessionRequest{Scheme: "last(add8)1"}); err == nil {
+		t.Fatal("create against a 500ing server succeeded")
+	}
+	if hits500.Load() != 1 {
+		t.Fatalf("server saw %d create attempts on 500, want 1", hits500.Load())
 	}
 }
 

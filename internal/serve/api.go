@@ -82,9 +82,17 @@ type SessionListResponse struct {
 	Sessions []CreateSessionResponse `json:"sessions"`
 }
 
+// CodeShardFailed machine-classifies an error response caused by a shard
+// worker panic: the session is permanently poisoned, so a retry can only
+// fail again (and would first re-train the healthy shards' partitions).
+// Clients treat it as non-retryable.
+const CodeShardFailed = "shard_failed"
+
 // ErrorResponse is the JSON error envelope every non-2xx response carries.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code, when present, machine-classifies the failure (CodeShardFailed).
+	Code string `json:"code,omitempty"`
 }
 
 // toSessionConfig converts the wire request into a validated SessionConfig

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	resclient "cohpredict/internal/client"
 	"cohpredict/internal/core"
 	"cohpredict/internal/fault"
+	"cohpredict/internal/obs"
 	"cohpredict/internal/serve"
 )
 
@@ -74,6 +76,64 @@ func TestShardPanicSurfacedOverHTTP(t *testing.T) {
 	err = cl.DeleteSession(sess.ID)
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("delete of a panicked session: err = %v, want the worker panic surfaced", err)
+	}
+}
+
+// TestShardPanicNotRetriedOverHTTP: the 500 carrying a shard panic is
+// coded shard_failed, so the client classifies it non-retryable and gives
+// up after one attempt instead of burning its retry budget re-training
+// the healthy shards' partitions on every replay miss.
+func TestShardPanicNotRetriedOverHTTP(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 1, PanicAfter: 1}, nil)
+	srv := serve.NewServer(serve.Options{Fault: inj})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := resclient.New(resclient.Options{BaseURL: ts.URL, MaxRetries: 4, Sleep: func(time.Duration) {}})
+
+	sess, err := cl.CreateSession(serve.CreateSessionRequest{Scheme: "last(add8)1", Shards: 1, FlushMicros: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.PostEventsKeyed(sess.ID, "poison", wireEvents(hammerEvents(8, 16)))
+	var ae *resclient.APIError
+	if err == nil || !errors.As(err, &ae) || ae.Code != serve.CodeShardFailed {
+		t.Fatalf("err = %v, want APIError coded %q", err, serve.CodeShardFailed)
+	}
+	if resclient.Retryable(err) {
+		t.Fatal("shard-failure response classified retryable")
+	}
+	if st := cl.Stats(); st.Retries != 0 {
+		t.Fatalf("client burned %d retries on a permanent failure", st.Retries)
+	}
+}
+
+// TestInjectedErrorCountsRequest: the injected-500 path short-circuits
+// before wrap() runs, so it must count the request as well as the error —
+// otherwise the error rate derived from the two counters exceeds 100%
+// under chaos.
+func TestInjectedErrorCountsRequest(t *testing.T) {
+	reg := obs.New()
+	inj := fault.New(fault.Config{Seed: 2, Error: 1.0}, nil)
+	srv := serve.NewServer(serve.Options{Fault: inj, Registry: reg})
+	defer srv.Shutdown()
+	c, closeTS := newClient(t, srv)
+	defer closeTS()
+	sess := c.createSession(serve.CreateSessionRequest{Scheme: "last(add8)1"})
+	body, err := jsonMarshal(wireEvents(hammerEvents(4, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := c.do("POST", "/v1/sessions/"+sess.ID+"/events", body, nil); code != 500 {
+		t.Fatalf("status %d, want injected 500", code)
+	}
+	reqs := reg.Counter("serve_http_requests_total").Value()
+	errs := reg.Counter("serve_http_errors_total").Value()
+	if errs == 0 {
+		t.Fatal("injected 500 not counted as an error")
+	}
+	if reqs < errs {
+		t.Fatalf("requests_total %d < errors_total %d: injected errors must count as requests", reqs, errs)
 	}
 }
 

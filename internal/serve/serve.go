@@ -153,9 +153,13 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) error) http.Han
 		case errors.Is(err, ErrDraining), errors.Is(err, ErrSnapshotting), errors.Is(err, ErrInjected):
 			status = http.StatusServiceUnavailable
 		}
+		code := ""
+		if errors.Is(err, ErrShardFailed) {
+			code = CodeShardFailed
+		}
 		s.om.errorsTotal.Inc()
 		s.opts.Log.Debugf("serve: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
-		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 	}
 }
 
@@ -173,6 +177,10 @@ func (s *Server) faulty(h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if flt.ServerError("http.error") {
+			// wrap() never runs for an injected failure, so the request
+			// must be counted here too — otherwise the error rate derived
+			// from the two counters exceeds 100% under chaos.
+			s.om.requestsTotal.Inc()
 			s.om.errorsTotal.Inc()
 			writeJSON(w, http.StatusInternalServerError,
 				ErrorResponse{Error: "serve: injected fault: internal error"})

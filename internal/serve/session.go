@@ -49,6 +49,12 @@ var ErrSnapshotting = errors.New("serve: session snapshotting")
 // trained).
 var ErrInjected = errors.New("serve: injected fault: batch dropped")
 
+// ErrShardFailed wraps a shard worker panic. The failure is permanent —
+// the session is poisoned and every later post fails the same way — so
+// the HTTP layer tags responses carrying it with CodeShardFailed and
+// clients give up instead of retrying.
+var ErrShardFailed = errors.New("serve: shard worker failed")
+
 // SessionConfig parameterises a session (the JSON create request mirrors
 // it; zero values take the defaults above).
 type SessionConfig struct {
@@ -111,6 +117,17 @@ type idemEntry struct {
 	done  chan struct{}
 	preds []bitmap.Bitmap
 	err   error
+}
+
+// completed reports whether the entry's winner has finished: done is
+// closed and preds/err are final and safe to read.
+func (e *idemEntry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Session hosts one live prediction engine behind the API: a router plus a
@@ -265,17 +282,35 @@ func (s *Session) PostKeyed(key string, evs []trace.Event) ([]bitmap.Bitmap, err
 	s.idem[key] = e
 	s.idemOrder = append(s.idemOrder, key)
 	if len(s.idemOrder) > maxIdemKeys {
-		evict := s.idemOrder[0]
-		s.idemOrder = s.idemOrder[1:]
-		delete(s.idem, evict)
+		// Evict the oldest *completed* entry. An entry still in flight
+		// must survive: evicting it would let a concurrent retry of the
+		// same key win the map slot and train the batch a second time.
+		// If every entry is in flight the cache briefly exceeds the cap
+		// instead (bounded by the number of concurrent requests).
+		for i, k := range s.idemOrder {
+			if s.idem[k].completed() {
+				delete(s.idem, k)
+				s.idemOrder = append(s.idemOrder[:i], s.idemOrder[i+1:]...)
+				break
+			}
+		}
 	}
 	s.idemMu.Unlock()
 
 	preds, err := s.Post(evs)
 	if err != nil {
-		// Nothing was trained (drops and backlog refuse before enqueue;
-		// a shard failure poisons the whole session anyway): release the
-		// key so the client's retry re-runs instead of replaying an error.
+		if errors.Is(err, ErrShardFailed) {
+			// Permanent: every retry fails identically, but its Post would
+			// still re-train the healthy shards' partitions first. Keep
+			// the entry with the recorded error so a replay of this key
+			// fails fast without touching the engine.
+			e.err = err
+			close(e.done)
+			return nil, err
+		}
+		// Nothing was trained (drops and backlog refuse before enqueue):
+		// release the key so the client's retry re-runs instead of
+		// replaying an error.
 		s.idemMu.Lock()
 		if s.idem[key] == e {
 			delete(s.idem, key)

@@ -104,7 +104,7 @@ func (s *shard) loop() (panicked bool) {
 		if r := recover(); r != nil {
 			// Record the failure first: the Dones below release Post's
 			// wg.Wait, and Post must observe the failure after it.
-			s.fail.Store(fmt.Errorf("serve: shard %d worker panicked: %v", s.id, r))
+			s.fail.Store(fmt.Errorf("%w: shard %d worker panicked: %v", ErrShardFailed, s.id, r))
 			s.om.shardPanics.Inc()
 			for i := range s.cur {
 				s.cur[i].wg.Done()

@@ -39,8 +39,13 @@ type sessionExtra struct {
 }
 
 // encodeSessionExtra packs the session's tuning and completed idempotency
-// entries. Callers hold the session quiesced, so every cached entry is
-// complete (done closed, preds final).
+// entries. Quiescence guarantees every successfully admitted batch's entry
+// is complete before this runs, but a PostKeyed racing the snapshot can
+// register its entry and only then fail admission with ErrSnapshotting —
+// such an entry is still open (or carries an error) while we hold idemMu
+// and is skipped: baking it into the snapshot would make the restored
+// session answer a replay of the key with zero predictions and the batch
+// would silently never train.
 func encodeSessionExtra(s *Session) []byte {
 	b := binary.AppendUvarint(nil, sessionExtraVersion)
 	b = binary.AppendUvarint(b, uint64(s.cfg.Shards))
@@ -50,8 +55,14 @@ func encodeSessionExtra(s *Session) []byte {
 
 	s.idemMu.Lock()
 	defer s.idemMu.Unlock()
-	b = binary.AppendUvarint(b, uint64(len(s.idemOrder)))
+	keys := make([]string, 0, len(s.idemOrder))
 	for _, k := range s.idemOrder {
+		if e := s.idem[k]; e.completed() && e.err == nil {
+			keys = append(keys, k)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
 		e := s.idem[k]
 		b = binary.AppendUvarint(b, uint64(len(k)))
 		b = append(b, k...)
