@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test race bench build obs-demo serve-demo chaos-demo fuzz-smoke cover
+.PHONY: check vet lint test race bench build obs-demo serve-demo chaos-demo fuzz-smoke cover bench-ledger throughput-smoke
 
 check: vet lint race
 
@@ -53,12 +53,29 @@ chaos-demo:
 	$(GO) run ./cmd/predserve -chaos-demo
 
 # Short native-fuzzing pass over the serialized attack surfaces: the JSON
-# event decoder, the shard router's co-location invariants, and the
-# engine-checkpoint wire decoder.
+# event decoder, the COHWIRE1 batch/reply decoders (plus the JSON↔binary
+# cross-equivalence property), the shard router's co-location invariants,
+# and the engine-checkpoint wire decoder.
 fuzz-smoke:
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDecodeEventRequest -fuzztime=10s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDecodeWireBatch -fuzztime=10s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDecodeWireReply -fuzztime=10s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzWireJSONCross -fuzztime=10s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzRouteKey -fuzztime=10s
 	$(GO) test ./internal/eval -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=10s
+
+# Regenerate the committed benchmark ledger: the transport comparison
+# (codec-level halves from the repo root, end-to-end HTTP pair from
+# internal/serve) distilled into BENCH_predserve.json, then re-validated.
+bench-ledger:
+	$(GO) test -run='^$$' -bench='BenchmarkServe(JSON|Wire)' -benchmem . ./internal/serve \
+		| $(GO) run ./cmd/benchledger -out BENCH_predserve.json
+	$(GO) run ./cmd/benchledger -check BENCH_predserve.json
+
+# Throughput floors, explicitly non-short: JSON must hold 100k events/sec
+# end to end, COHWIRE1 must hold 500k (CI runs this as a smoke step).
+throughput-smoke:
+	$(GO) test ./internal/serve -run='TestThroughputFloor' -count=1 -v
 
 # Coverage ratchet: per-package statement-coverage floors sit a few points
 # below measured coverage, so a change that lands a chunk of untested code
@@ -66,4 +83,5 @@ fuzz-smoke:
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client
 	$(GO) run ./cmd/covergate -profile cover.out \
-		internal/serve=85 internal/eval=88 internal/fault=95 internal/client=72
+		internal/serve=85 internal/eval=88 internal/fault=95 internal/client=72 \
+		internal/serve/wire.go=85

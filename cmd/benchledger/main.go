@@ -1,0 +1,245 @@
+// Command benchledger turns `go test -bench` output into the repo's
+// committed benchmark ledger (BENCH_predserve.json) and validates it.
+// The ledger is the PR-reviewable record of the serve path's speed: the
+// JSON and COHWIRE1 transports side by side (ns/op, allocs/op, and the
+// benches' custom events/sec metric), plus a summary with the headline
+// end-to-end rates and the wire-over-JSON speedup.
+//
+//	go test -run='^$' -bench='BenchmarkServe(JSON|Wire)' -benchmem . ./internal/serve \
+//	    | benchledger -out BENCH_predserve.json
+//	benchledger -check BENCH_predserve.json
+//
+// -check exits non-zero unless the file matches the predserve-bench/v1
+// schema; CI runs it so a hand-edited or stale ledger fails the build.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema is the ledger format identifier -check validates against.
+const Schema = "predserve-bench/v1"
+
+// Ledger is the BENCH_predserve.json document.
+type Ledger struct {
+	Schema  string  `json:"schema"`
+	Go      string  `json:"go"`
+	GOOS    string  `json:"goos"`
+	GOARCH  string  `json:"goarch"`
+	CPU     string  `json:"cpu,omitempty"`
+	Benches []Bench `json:"benches"`
+	Summary Summary `json:"summary"`
+}
+
+// Bench is one benchmark's measurements. EventsPerSec is the custom
+// metric every serve bench reports; AllocsPerOp is present whenever the
+// bench ran under -benchmem.
+type Bench struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// Summary carries the headline numbers: the end-to-end (HTTP) events/sec
+// of each transport and their ratio.
+type Summary struct {
+	JSONEventsPerSec float64 `json:"json_events_per_sec"`
+	WireEventsPerSec float64 `json:"wire_events_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchledger:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_predserve.json", "ledger file to write")
+	check := flag.String("check", "", "validate this ledger file instead of generating one")
+	match := flag.String("match", "BenchmarkServe", "record only benchmarks whose name has this prefix")
+	flag.Parse()
+
+	if *check != "" {
+		return validate(*check)
+	}
+
+	ledger, err := parse(os.Stdin, *match)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchledger: wrote %s (%d benches, wire %.0f ev/s vs json %.0f ev/s, %.1fx)\n",
+		*out, len(ledger.Benches), ledger.Summary.WireEventsPerSec,
+		ledger.Summary.JSONEventsPerSec, ledger.Summary.Speedup)
+	return nil
+}
+
+// parse reads `go test -bench` output and assembles the ledger. Bench
+// lines look like
+//
+//	BenchmarkServeWire/http-8   242   4942735 ns/op   207176 events/sec   1234 B/op   5 allocs/op
+//
+// i.e. a name (with -GOMAXPROCS suffix), an iteration count, then
+// value/unit pairs in whatever order the testing package emits them.
+func parse(r io.Reader, match string) (*Ledger, error) {
+	ledger := &Ledger{
+		Schema: Schema,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	byName := make(map[string]*Bench)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			ledger.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		if !strings.HasPrefix(name, match) {
+			continue
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Bench{Name: name}
+			byName[name] = b
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %q: bad value %q", line, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "events/sec":
+				b.EventsPerSec = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(byName) == 0 {
+		return nil, fmt.Errorf("no %s* benchmark lines on stdin (pipe `go test -bench` output in)", match)
+	}
+
+	for _, b := range byName {
+		ledger.Benches = append(ledger.Benches, *b)
+	}
+	sort.Slice(ledger.Benches, func(i, j int) bool {
+		return ledger.Benches[i].Name < ledger.Benches[j].Name
+	})
+
+	// The summary headline is the end-to-end HTTP pair; the codec-level
+	// encode/decode benches stand in if a run skipped the HTTP ones.
+	ledger.Summary.JSONEventsPerSec = pick(byName, "BenchmarkServeJSON/http", "BenchmarkServeJSON/decode")
+	ledger.Summary.WireEventsPerSec = pick(byName, "BenchmarkServeWire/http", "BenchmarkServeWire/decode")
+	if ledger.Summary.JSONEventsPerSec > 0 {
+		ledger.Summary.Speedup = ledger.Summary.WireEventsPerSec / ledger.Summary.JSONEventsPerSec
+	}
+	return ledger, nil
+}
+
+func pick(byName map[string]*Bench, names ...string) float64 {
+	for _, n := range names {
+		if b := byName[n]; b != nil && b.EventsPerSec > 0 {
+			return b.EventsPerSec
+		}
+	}
+	return 0
+}
+
+// validate is the -check mode: the CI schema gate over a committed
+// ledger.
+func validate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var l Ledger
+	if err := dec.Decode(&l); err != nil {
+		return fmt.Errorf("%s: not a valid ledger: %w", path, err)
+	}
+	var problems []string
+	bad := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if l.Schema != Schema {
+		bad("schema is %q, want %q", l.Schema, Schema)
+	}
+	if l.Go == "" || l.GOOS == "" || l.GOARCH == "" {
+		bad("missing toolchain identification (go/goos/goarch)")
+	}
+	if len(l.Benches) == 0 {
+		bad("no benches recorded")
+	}
+	seen := make(map[string]bool)
+	for i, b := range l.Benches {
+		if b.Name == "" || !strings.HasPrefix(b.Name, "Benchmark") {
+			bad("bench %d: name %q does not look like a benchmark", i, b.Name)
+		}
+		if seen[b.Name] {
+			bad("bench %q recorded twice", b.Name)
+		}
+		seen[b.Name] = true
+		if b.NsPerOp <= 0 {
+			bad("bench %q: ns_per_op %v not positive", b.Name, b.NsPerOp)
+		}
+		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 || b.EventsPerSec < 0 {
+			bad("bench %q: negative measurement", b.Name)
+		}
+	}
+	s := l.Summary
+	if s.JSONEventsPerSec <= 0 || s.WireEventsPerSec <= 0 {
+		bad("summary missing transport rates: %+v", s)
+	} else if got := s.WireEventsPerSec / s.JSONEventsPerSec; s.Speedup < 0.99*got || s.Speedup > 1.01*got {
+		bad("summary speedup %.3f inconsistent with rates (%.3f)", s.Speedup, got)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s fails the %s schema:\n  %s", path, Schema, strings.Join(problems, "\n  "))
+	}
+	fmt.Printf("benchledger: %s ok (%d benches, %.1fx wire speedup)\n", path, len(l.Benches), l.Summary.Speedup)
+	return nil
+}

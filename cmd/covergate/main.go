@@ -4,13 +4,15 @@
 // lands a chunk of untested code fails the build.
 //
 //	go test -coverprofile=cover.out ./...
-//	covergate -profile cover.out internal/serve=85 internal/eval=88
+//	covergate -profile cover.out internal/serve=85 internal/eval=88 internal/serve/wire.go=90
 //
 // Each argument is pkg=minPercent, where pkg matches by import-path
-// suffix (internal/serve matches cohpredict/internal/serve). Coverage is
-// statement-weighted across all files of the package, exactly like the
-// percentage `go test -cover` prints. Exit status 1 if any floor is
-// broken or a gated package has no profile data at all.
+// suffix (internal/serve matches cohpredict/internal/serve). A gate
+// ending in ".go" matches a single file by path suffix instead, so a
+// hot-path file can carry a tighter floor than its package. Coverage is
+// statement-weighted, exactly like the percentage `go test -cover`
+// prints. Exit status 1 if any floor is broken or a gated package or
+// file has no profile data at all.
 package main
 
 import (
@@ -61,11 +63,22 @@ func run() error {
 
 	broken := 0
 	for _, g := range gates {
+		// File gates (pkg ends in ".go") aggregate over matching files;
+		// package gates aggregate over every file in matching packages.
+		// readProfile keys both maps by file path, so the only difference
+		// is whether the directory part or the whole path must match.
+		byFile := strings.HasSuffix(g.pkg, ".go")
 		var cov, tot int64
-		for pkg := range total {
-			if pkg == g.pkg || strings.HasSuffix(pkg, "/"+g.pkg) {
-				cov += covered[pkg]
-				tot += total[pkg]
+		for file := range total {
+			key := file
+			if !byFile {
+				if i := strings.LastIndex(file, "/"); i >= 0 {
+					key = file[:i]
+				}
+			}
+			if key == g.pkg || strings.HasSuffix(key, "/"+g.pkg) {
+				cov += covered[file]
+				tot += total[file]
 			}
 		}
 		if tot == 0 {
@@ -88,8 +101,9 @@ func run() error {
 	return nil
 }
 
-// readProfile parses a cover profile into per-package covered and total
-// statement counts. Block format, one per line after the mode header:
+// readProfile parses a cover profile into per-file covered and total
+// statement counts (package gates re-aggregate by directory). Block
+// format, one per line after the mode header:
 //
 //	import/path/file.go:startLine.startCol,endLine.endCol numStmts hitCount
 func readProfile(path string) (covered, total map[string]int64, err error) {
@@ -128,13 +142,9 @@ func readProfile(path string) (covered, total map[string]int64, err error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s:%d: bad hit count: %w", path, lineNo, err)
 		}
-		pkg := file
-		if i := strings.LastIndex(file, "/"); i >= 0 {
-			pkg = file[:i]
-		}
-		total[pkg] += stmts
+		total[file] += stmts
 		if hits > 0 {
-			covered[pkg] += stmts
+			covered[file] += stmts
 		}
 	}
 	if err := sc.Err(); err != nil {

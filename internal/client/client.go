@@ -70,6 +70,11 @@ type Options struct {
 	// HTTP, when non-nil, replaces the default transport (which disables
 	// keep-alives; see the package comment).
 	HTTP *http.Client
+	// Binary posts event batches as COHWIRE1 frames instead of JSON. A
+	// server that does not speak the wire format answers 415, and the
+	// client downgrades to JSON once — for the whole client, not per
+	// request — so a mixed-version cluster costs one wasted attempt, ever.
+	Binary bool
 }
 
 // APIError is a non-2xx response from the service.
@@ -116,10 +121,14 @@ func retrySafeResponse(err error) bool {
 
 // Stats is the client's view of a retry loop's work.
 type Stats struct {
-	Requests int64 // HTTP attempts issued
-	Retries  int64 // attempts beyond the first
-	Replays  int64 // event posts retried under their idempotency key
-	SleptNS  int64 // total backoff requested
+	Requests    int64  // HTTP attempts issued
+	Retries     int64  // attempts beyond the first
+	Replays     int64  // event posts retried under their idempotency key
+	SleptNS     int64  // total backoff requested
+	Transport   string // negotiated event-post transport: "cohwire" or "json"
+	BinaryPosts int64  // event batches sent as COHWIRE1 frames
+	JSONPosts   int64  // event batches sent as JSON
+	Downgrades  int64  // binary→JSON downgrades (0 or 1: the switch is one-way)
 }
 
 // Client talks to one predserve instance with retries and idempotency.
@@ -136,6 +145,11 @@ type Client struct {
 	retries  atomic.Int64
 	replays  atomic.Int64
 	sleptNS  atomic.Int64
+
+	binary      atomic.Bool // still posting COHWIRE1 (cleared by the one-way downgrade)
+	binaryPosts atomic.Int64
+	jsonPosts   atomic.Int64
+	downgrades  atomic.Int64
 }
 
 // New builds a client for the server at opts.BaseURL.
@@ -161,20 +175,30 @@ func New(opts Options) *Client {
 			Transport: &http.Transport{DisableKeepAlives: true},
 		}
 	}
-	return &Client{
+	c := &Client{
 		opts: opts,
 		http: h,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
+	c.binary.Store(opts.Binary)
+	return c
 }
 
 // Stats returns the cumulative retry-loop tallies.
 func (c *Client) Stats() Stats {
+	transport := "json"
+	if c.binary.Load() {
+		transport = "cohwire"
+	}
 	return Stats{
-		Requests: c.requests.Load(),
-		Retries:  c.retries.Load(),
-		Replays:  c.replays.Load(),
-		SleptNS:  c.sleptNS.Load(),
+		Requests:    c.requests.Load(),
+		Retries:     c.retries.Load(),
+		Replays:     c.replays.Load(),
+		SleptNS:     c.sleptNS.Load(),
+		Transport:   transport,
+		BinaryPosts: c.binaryPosts.Load(),
+		JSONPosts:   c.jsonPosts.Load(),
+		Downgrades:  c.downgrades.Load(),
 	}
 }
 
@@ -213,7 +237,7 @@ func (c *Client) NextIdempotencyKey() string {
 // for idempotent requests, retrySafeResponse for non-idempotent ones).
 // idemKey, when non-empty, is sent as the Idempotency-Key header on every
 // attempt. The response body (for 2xx) is returned whole.
-func (c *Client) do(method, path string, body []byte, contentType, idemKey string, retry func(error) bool) ([]byte, error) {
+func (c *Client) do(method, path string, body []byte, contentType, accept, idemKey string, retry func(error) bool) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -228,7 +252,7 @@ func (c *Client) do(method, path string, body []byte, contentType, idemKey strin
 			c.sleep(c.backoff(attempt - 1))
 		}
 		c.requests.Add(1)
-		resp, err := c.attempt(method, path, body, contentType, idemKey)
+		resp, err := c.attempt(method, path, body, contentType, accept, idemKey)
 		if err == nil {
 			return resp, nil
 		}
@@ -239,7 +263,7 @@ func (c *Client) do(method, path string, body []byte, contentType, idemKey strin
 	}
 }
 
-func (c *Client) attempt(method, path string, body []byte, contentType, idemKey string) ([]byte, error) {
+func (c *Client) attempt(method, path string, body []byte, contentType, accept, idemKey string) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -250,6 +274,9 @@ func (c *Client) attempt(method, path string, body []byte, contentType, idemKey 
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
@@ -283,7 +310,7 @@ func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey s
 		}
 		body = b
 	}
-	data, err := c.do(method, path, body, "application/json", idemKey, retry)
+	data, err := c.do(method, path, body, "application/json", "", idemKey, retry)
 	if err != nil {
 		return err
 	}
@@ -318,13 +345,52 @@ func (c *Client) PostEvents(id string, evs []serve.EventRequest) ([]uint64, erro
 }
 
 // PostEventsKeyed is PostEvents under a caller-chosen idempotency key
-// (replays across client restarts use the same key).
+// (replays across client restarts use the same key). With Options.Binary
+// set it posts a COHWIRE1 frame; the first 415 from a server that does
+// not speak the format downgrades the whole client to JSON — once, not
+// per request — so every later batch skips the doomed attempt.
 func (c *Client) PostEventsKeyed(id, key string, evs []serve.EventRequest) ([]uint64, error) {
+	path := "/v1/sessions/" + id + "/events"
+	if c.binary.Load() {
+		preds, err := c.postEventsWire(path, key, evs)
+		var ae *APIError
+		if err == nil || !errors.As(err, &ae) || ae.Status != http.StatusUnsupportedMediaType {
+			return preds, err
+		}
+		if c.binary.CompareAndSwap(true, false) {
+			c.downgrades.Add(1)
+		}
+	}
+	c.jsonPosts.Add(1)
 	var out serve.EventsResponse
-	if err := c.doJSON(http.MethodPost, "/v1/sessions/"+id+"/events", evs, &out, key, Retryable); err != nil {
+	if err := c.doJSON(http.MethodPost, path, evs, &out, key, Retryable); err != nil {
 		return nil, err
 	}
 	return out.Predictions, nil
+}
+
+// postEventsWire posts the batch as a COHWIRE1 frame and decodes the
+// binary reply. Any error other than 415 is final (the caller's retry
+// policy already ran inside do); 415 is the downgrade signal.
+func (c *Client) postEventsWire(path, key string, evs []serve.EventRequest) ([]uint64, error) {
+	c.binaryPosts.Add(1)
+	body := serve.AppendWireEvents(nil, evs)
+	data, err := c.do(http.MethodPost, path, body, serve.ContentTypeWire, serve.ContentTypeWire, key, Retryable)
+	if err != nil {
+		return nil, err
+	}
+	if !serve.IsWireFrame(data) {
+		return nil, fmt.Errorf("client: wire post got a non-wire reply body")
+	}
+	preds, err := serve.DecodeWireReply(data)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding wire reply: %w", err)
+	}
+	out := make([]uint64, len(preds))
+	for i, p := range preds {
+		out[i] = uint64(p)
+	}
+	return out, nil
 }
 
 // Stats fetches the session's screening statistics.
@@ -338,7 +404,7 @@ func (c *Client) SessionStats(id string) (*serve.StatsResponse, error) {
 
 // Snapshot quiesces the session and returns its binary snapshot.
 func (c *Client) Snapshot(id string) ([]byte, error) {
-	return c.do(http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, "", "", Retryable)
+	return c.do(http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, "", "", "", Retryable)
 }
 
 // Restore creates session id from a binary snapshot; shards > 0 reshards
@@ -351,7 +417,7 @@ func (c *Client) Restore(id string, snap []byte, shards int) (*serve.CreateSessi
 	if shards > 0 {
 		path += "?shards=" + strconv.Itoa(shards)
 	}
-	data, err := c.do(http.MethodPut, path, snap, "application/octet-stream", "", retrySafeResponse)
+	data, err := c.do(http.MethodPut, path, snap, "application/octet-stream", "", "", retrySafeResponse)
 	if err != nil {
 		return nil, err
 	}

@@ -132,12 +132,12 @@ func (r *snapReader) uvarint(what string) uint64 {
 	if r.err != nil {
 		return 0
 	}
-	v, n := binary.Uvarint(r.b)
-	if n <= 0 {
+	v, n, ok := Uvarint(r.b)
+	switch {
+	case n == 0:
 		r.err = fmt.Errorf("eval: snapshot truncated reading %s", what)
 		return 0
-	}
-	if n != uvarintLen(v) {
+	case !ok:
 		r.err = fmt.Errorf("eval: snapshot has a non-minimal varint for %s", what)
 		return 0
 	}
@@ -153,15 +153,6 @@ func (r *snapReader) boolWord(what string) bool {
 		r.err = fmt.Errorf("eval: snapshot has a non-boolean %s word %d", what, v)
 	}
 	return v == 1
-}
-
-func uvarintLen(v uint64) int {
-	n := 1
-	for v >= 0x80 {
-		v >>= 7
-		n++
-	}
-	return n
 }
 
 // DecodeSnapshot parses the canonical wire form. It validates structure,

@@ -1,0 +1,44 @@
+package eval
+
+import "encoding/binary"
+
+// Canonical uvarint helpers shared by the repo's binary wire formats: the
+// COHSNAP1 engine-snapshot codec (this package) and the COHWIRE1 serving
+// protocol (internal/serve). Both formats admit exactly one encoding per
+// value — minimal-length uvarints only — which is what makes
+// Encode(Decode(b)) == b provable for every accepted input.
+//
+// The helpers are hot-path kernels: the serving layer decodes one uvarint
+// per event field at target rates of a million events per second, so they
+// must not allocate, box, or format.
+
+// Uvarint decodes one canonical uvarint from the front of b. It returns
+// the value, the number of bytes consumed, and whether the encoding was
+// acceptable: n == 0 means b is truncated (or overflows 64 bits), and
+// ok == false with n > 0 means the encoding was valid but non-minimal —
+// the value would re-encode shorter than it arrived.
+//
+//predlint:hotpath
+func Uvarint(b []byte) (v uint64, n int, ok bool) {
+	v, n = binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, false
+	}
+	if n != UvarintLen(v) {
+		return v, n, false
+	}
+	return v, n, true
+}
+
+// UvarintLen returns the number of bytes the canonical (minimal) encoding
+// of v occupies.
+//
+//predlint:hotpath
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // checkHotpath enforces allocation discipline inside functions annotated
@@ -16,6 +17,10 @@ import (
 //   - implicit conversions of concrete values to interface parameters
 //     (each boxes its operand),
 //   - append inside a loop to a slice declared without capacity.
+//
+// It also enforces cfg.RequiredHotpaths: the kernels named there must
+// exist and carry the annotation, so the discipline cannot be dodged by
+// deleting the mark.
 func checkHotpath(c *Context) {
 	for _, pkg := range c.Pkgs {
 		eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
@@ -24,6 +29,61 @@ func checkHotpath(c *Context) {
 			}
 			c.lintHotFunc(pkg, fd)
 		})
+	}
+	c.enforceRequiredHotpaths()
+}
+
+// funcQualName is a declaration's config-matching name: FuncName for
+// plain functions, Receiver.Method (pointer stripped) for methods.
+func funcQualName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// enforceRequiredHotpaths reports every configured kernel that is
+// missing or unannotated.
+func (c *Context) enforceRequiredHotpaths() {
+	for _, entry := range c.Cfg.RequiredHotpaths {
+		var pkg *Package
+		var want string
+		for _, p := range c.Pkgs {
+			if prefix := p.Path + "."; strings.HasPrefix(entry, prefix) {
+				pkg, want = p, entry[len(prefix):]
+				break
+			}
+		}
+		if pkg == nil {
+			c.findings = append(c.findings, Finding{
+				File:    "(config)",
+				Check:   "hotpath",
+				Message: "required hot path " + entry + " names a package that is not in the module",
+			})
+			continue
+		}
+		var found *ast.FuncDecl
+		eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			if funcQualName(fd) == want {
+				found = fd
+			}
+		})
+		switch {
+		case found == nil:
+			c.reportf("hotpath", pkg.Files[0].Pos(),
+				"required hot path %s.%s does not exist (update RequiredHotpaths or restore the kernel)",
+				pkg.Path, want)
+		case !c.dirs.isHotpath(found):
+			c.reportf("hotpath", found.Pos(),
+				"%s is a required hot path but lacks the //predlint:hotpath annotation", want)
+		}
 	}
 }
 

@@ -91,6 +91,14 @@ type Config struct {
 	// default case.
 	EnumTypes []string
 
+	// RequiredHotpaths are "importpath.FuncName" (or
+	// "importpath.Receiver.Method") entries that MUST carry the
+	// //predlint:hotpath annotation: the serving and evaluation kernels
+	// whose allocation discipline the throughput floors rest on. A
+	// missing function or a stripped annotation is a finding, so the
+	// hot-path guarantee cannot silently rot out of the lint's sight.
+	RequiredHotpaths []string
+
 	// Checks restricts the run to the named checks; empty means all.
 	Checks []string
 }
@@ -130,6 +138,21 @@ func DefaultConfig(root, modulePath string) *Config {
 			modulePath + "/internal/core.Function",
 			modulePath + "/internal/core.UpdateMode",
 		},
+		RequiredHotpaths: []string{
+			// The offline evaluation kernel and its canonical varint pair.
+			modulePath + "/internal/eval.Apply",
+			modulePath + "/internal/eval.Engine.Step",
+			modulePath + "/internal/eval.Uvarint",
+			modulePath + "/internal/eval.UvarintLen",
+			// The serve path: shard worker loop and the COHWIRE1 codec
+			// kernels the allocation-free binary transport is built from.
+			modulePath + "/internal/serve.shard.process",
+			modulePath + "/internal/serve.AppendWireBatch",
+			modulePath + "/internal/serve.AppendWireEvents",
+			modulePath + "/internal/serve.AppendWireReply",
+			modulePath + "/internal/serve.DecodeWireBatchInto",
+			modulePath + "/internal/serve.DecodeWireReplyInto",
+		},
 	}
 }
 
@@ -150,7 +173,7 @@ func Checks() []Check {
 		},
 		{
 			Name: "hotpath",
-			Desc: "functions marked //predlint:hotpath avoid per-event heap allocation, fmt calls, loop-variable captures, interface conversions, and unpreallocated appends",
+			Desc: "functions marked //predlint:hotpath avoid per-event heap allocation, fmt calls, loop-variable captures, interface conversions, and unpreallocated appends; the configured required kernels must carry the mark",
 			run:  checkHotpath,
 		},
 		{

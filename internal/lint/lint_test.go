@@ -30,6 +30,13 @@ func fixtureConfig(t *testing.T) *Config {
 		ObsHandleTypes:       []string{"Counter"},
 		LibraryPrefixes:      []string{"fixture/"},
 		EnumTypes:            []string{"fixture/enums.Mode"},
+		RequiredHotpaths: []string{
+			"fixture/hot.Sum",          // annotated: satisfied
+			"fixture/hot.Cold",         // exists but unannotated: finding
+			"fixture/hot.event.label",  // unannotated method: finding
+			"fixture/hot.Missing",      // no such function: finding
+			"fixture/nosuchpkg.Kernel", // no such package: finding
+		},
 	}
 }
 

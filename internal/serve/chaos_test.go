@@ -41,8 +41,10 @@ type chaosOutcome struct {
 // client: batches are dropped, delayed, failed with 500s, and acked with
 // connection resets; when the injector's kill point fires the server is
 // checkpointed, discarded without drain, and a fresh server restores the
-// snapshot (at restoreShards shards) to finish the stream.
-func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreShards int, seed int64) chaosOutcome {
+// snapshot (at restoreShards shards) to finish the stream. With binary
+// set the client posts COHWIRE1 frames, so the same faults hammer the
+// pooled wire path instead of the JSON one.
+func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreShards int, seed int64, binary bool) chaosOutcome {
 	t.Helper()
 	const chunk = 173
 	batches := (len(tr.Events) + chunk - 1) / chunk
@@ -58,6 +60,7 @@ func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreSh
 		Seed:       seed,
 		MaxRetries: 64,
 		Sleep:      func(time.Duration) {}, // count, don't wait
+		Binary:     binary,
 	})
 
 	sess, err := cl.CreateSession(serve.CreateSessionRequest{
@@ -93,6 +96,7 @@ func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreSh
 				Seed:       seed + 1, // fresh key space for the second life
 				MaxRetries: 64,
 				Sleep:      func(time.Duration) {},
+				Binary:     binary,
 			})
 			if _, err := cl.Restore(id, snap, restoreShards); err != nil {
 				t.Fatalf("restore after kill: %v", err)
@@ -113,6 +117,15 @@ func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreSh
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}
+	if cs := cl.Stats(); binary {
+		// The chaos must not have knocked the client off the wire format:
+		// faults are retried, never downgraded.
+		if cs.Transport != "cohwire" || cs.Downgrades != 0 || cs.BinaryPosts == 0 {
+			t.Fatalf("binary chaos client drifted off the wire transport: %+v", cs)
+		}
+	} else if cs.BinaryPosts != 0 {
+		t.Fatalf("JSON chaos client issued %d binary posts", cs.BinaryPosts)
+	}
 	ts.Close()
 	if err := srv.Shutdown(); err != nil {
 		t.Fatalf("final shutdown: %v", err)
@@ -125,7 +138,8 @@ func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreSh
 // keys), and one mid-stream kill+checkpoint+restore, the served
 // predictions and final confusion counts are byte-identical to the
 // fault-free eval.Evaluate golden path — at 1, 2, and 8 shards, with the
-// restore landing on a different shard count than the kill.
+// restore landing on a different shard count than the kill, over both
+// the JSON and COHWIRE1 transports.
 func TestChaosEquivalence(t *testing.T) {
 	tr := genTrace(t, "em3d", 3)
 	m := core.Machine{Nodes: 16, LineBytes: 64}
@@ -152,36 +166,38 @@ func TestChaosEquivalence(t *testing.T) {
 		wantConf := eng.Confusion()
 
 		for _, shards := range []int{1, 2, 8} {
-			t.Run(fmt.Sprintf("%s/shards=%d", schemeStr, shards), func(t *testing.T) {
-				out := runChaos(t, tr, schemeStr, shards, reshard[shards], 42)
+			for _, transport := range []string{"json", "cohwire"} {
+				t.Run(fmt.Sprintf("%s/shards=%d/%s", schemeStr, shards, transport), func(t *testing.T) {
+					out := runChaos(t, tr, schemeStr, shards, reshard[shards], 42, transport == "cohwire")
 
-				// The chaos must actually have happened.
-				f := out.faults
-				if f.Drops == 0 || f.Errors == 0 || f.Resets == 0 || f.Kills != 1 {
-					t.Fatalf("fault mix too tame to prove anything: %+v", f)
-				}
-
-				if len(out.preds) != len(wantPreds) {
-					t.Fatalf("served %d predictions, want %d", len(out.preds), len(wantPreds))
-				}
-				for i := range wantPreds {
-					if out.preds[i] != wantPreds[i] {
-						t.Fatalf("event %d: chaos-served prediction %#x != fault-free %#x",
-							i, out.preds[i], wantPreds[i])
+					// The chaos must actually have happened.
+					f := out.faults
+					if f.Drops == 0 || f.Errors == 0 || f.Resets == 0 || f.Kills != 1 {
+						t.Fatalf("fault mix too tame to prove anything: %+v", f)
 					}
-				}
-				st := out.stats
-				if st.TP != wantConf.TP || st.FP != wantConf.FP ||
-					st.TN != wantConf.TN || st.FN != wantConf.FN {
-					t.Fatalf("confusion mismatch: chaos {%d %d %d %d}, fault-free {%d %d %d %d}",
-						st.TP, st.FP, st.TN, st.FN,
-						wantConf.TP, wantConf.FP, wantConf.TN, wantConf.FN)
-				}
-				if st.Events != uint64(len(tr.Events)) {
-					t.Fatalf("events %d, want %d (a batch double-trained or vanished)",
-						st.Events, len(tr.Events))
-				}
-			})
+
+					if len(out.preds) != len(wantPreds) {
+						t.Fatalf("served %d predictions, want %d", len(out.preds), len(wantPreds))
+					}
+					for i := range wantPreds {
+						if out.preds[i] != wantPreds[i] {
+							t.Fatalf("event %d: chaos-served prediction %#x != fault-free %#x",
+								i, out.preds[i], wantPreds[i])
+						}
+					}
+					st := out.stats
+					if st.TP != wantConf.TP || st.FP != wantConf.FP ||
+						st.TN != wantConf.TN || st.FN != wantConf.FN {
+						t.Fatalf("confusion mismatch: chaos {%d %d %d %d}, fault-free {%d %d %d %d}",
+							st.TP, st.FP, st.TN, st.FN,
+							wantConf.TP, wantConf.FP, wantConf.TN, wantConf.FN)
+					}
+					if st.Events != uint64(len(tr.Events)) {
+						t.Fatalf("events %d, want %d (a batch double-trained or vanished)",
+							st.Events, len(tr.Events))
+					}
+				})
+			}
 		}
 	}
 }
@@ -192,8 +208,8 @@ func TestChaosEquivalence(t *testing.T) {
 // resets, kills) and every served byte must replay exactly.
 func TestChaosReproducible(t *testing.T) {
 	tr := genTrace(t, "em3d", 3)
-	a := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 1234)
-	b := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 1234)
+	a := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 1234, true)
+	b := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 1234, true)
 
 	if a.faults.Drops != b.faults.Drops || a.faults.Errors != b.faults.Errors ||
 		a.faults.Resets != b.faults.Resets || a.faults.Kills != b.faults.Kills {
@@ -208,7 +224,7 @@ func TestChaosReproducible(t *testing.T) {
 		t.Fatalf("stats differ across identically-seeded runs")
 	}
 
-	c := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 5678)
+	c := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, 5678, true)
 	if a.faults.Drops == c.faults.Drops && a.faults.Errors == c.faults.Errors &&
 		a.faults.Resets == c.faults.Resets {
 		t.Fatalf("different seeds injected identical fault mixes (%+v) — seed is not wired through", a.faults)

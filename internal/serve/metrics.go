@@ -21,6 +21,7 @@ type serveMetrics struct {
 	backpressure   *obs.Counter   // serve_backpressure_total: batches refused with 429
 	requestsTotal  *obs.Counter   // serve_http_requests_total
 	errorsTotal    *obs.Counter   // serve_http_errors_total: 4xx/5xx responses
+	wireRequests   *obs.Counter   // serve_wire_requests_total: COHWIRE1 event posts accepted
 	shardBusyNS    *obs.Counter   // serve_shard_busy_ns_total
 	shardPanics    *obs.Counter   // serve_shard_panics_total: worker panics recovered
 	idemHits       *obs.Counter   // serve_idempotent_replays_total: batches served from cache
@@ -39,6 +40,7 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 		backpressure:   r.Counter("serve_backpressure_total"),
 		requestsTotal:  r.Counter("serve_http_requests_total"),
 		errorsTotal:    r.Counter("serve_http_errors_total"),
+		wireRequests:   r.Counter("serve_wire_requests_total"),
 		shardBusyNS:    r.Counter("serve_shard_busy_ns_total"),
 		shardPanics:    r.Counter("serve_shard_panics_total"),
 		idemHits:       r.Counter("serve_idempotent_replays_total"),

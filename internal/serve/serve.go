@@ -335,10 +335,24 @@ func (s *Server) session(r *http.Request) (*Session, error) {
 	return sess, nil
 }
 
+// handleEvents negotiates the events route's two encodings: a COHWIRE1
+// Content-Type takes the allocation-free binary path, JSON (or no type)
+// the debugging/compat path, and anything else is refused with 415 — the
+// signal the resilient client downgrades on in a mixed-version cluster.
+// Either request form may ask for a binary reply via Accept.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) error {
 	sess, err := s.session(r)
 	if err != nil {
 		return err
+	}
+	switch ct := mediaType(r.Header.Get("Content-Type")); ct {
+	case ContentTypeWire:
+		return s.handleEventsWire(w, r, sess)
+	case "", "application/json", "application/x-www-form-urlencoded":
+		// form-urlencoded is curl's -d default; the body is still JSON.
+	default:
+		return httpErr(http.StatusUnsupportedMediaType,
+			fmt.Errorf("serve: unsupported content type %q (want application/json or %s)", ct, ContentTypeWire))
 	}
 	body, err := s.readBody(r)
 	if err != nil {
@@ -351,6 +365,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) error {
 	preds, err := sess.PostKeyed(r.Header.Get("Idempotency-Key"), evs)
 	if err != nil {
 		return err
+	}
+	if wantsWire(r) {
+		writeWire(w, AppendWireReply(nil, preds))
+		return nil
 	}
 	resp := EventsResponse{Events: len(preds), Predictions: make([]uint64, len(preds))}
 	for i, p := range preds {

@@ -227,20 +227,35 @@ func (s *Session) release(n int) {
 // every event has been processed and scored, so a successful return means
 // the batch is fully reflected in Stats.
 func (s *Session) Post(evs []trace.Event) ([]bitmap.Bitmap, error) {
+	preds := make([]bitmap.Bitmap, len(evs))
+	if err := s.PostInto(evs, preds); err != nil {
+		return nil, err
+	}
+	return preds, nil
+}
+
+// PostInto is Post writing the predictions into caller-owned storage —
+// the binary serve path passes a pooled slice here so an unkeyed post
+// allocates nothing. preds must have length len(evs); the slots are the
+// response buffer the shard workers store into, and they are safe to
+// read (or recycle) once PostInto has returned.
+func (s *Session) PostInto(evs []trace.Event, preds []bitmap.Bitmap) error {
 	if len(evs) > MaxBatchEvents {
-		return nil, fmt.Errorf("serve: batch of %d events exceeds limit %d", len(evs), MaxBatchEvents)
+		return fmt.Errorf("serve: batch of %d events exceeds limit %d", len(evs), MaxBatchEvents)
+	}
+	if len(preds) != len(evs) {
+		return fmt.Errorf("serve: %d prediction slots for %d events", len(preds), len(evs))
 	}
 	if len(evs) == 0 {
-		return []bitmap.Bitmap{}, nil
+		return nil
 	}
 	if err := s.admit(len(evs)); err != nil {
-		return nil, err
+		return err
 	}
 	defer s.release(len(evs))
 	s.om.queueDepth.Add(float64(len(evs)))
 	defer s.om.queueDepth.Add(-float64(len(evs)))
 
-	preds := make([]bitmap.Bitmap, len(evs))
 	var wg sync.WaitGroup
 	wg.Add(len(evs))
 	for i := range evs {
@@ -249,10 +264,7 @@ func (s *Session) Post(evs []trace.Event) ([]bitmap.Bitmap, error) {
 		sh.in <- op{ev: ev, out: &preds[i], wg: &wg}
 	}
 	wg.Wait()
-	if err := s.shardErr(); err != nil {
-		return nil, err
-	}
-	return preds, nil
+	return s.shardErr()
 }
 
 // PostKeyed is Post with an idempotency key: the first arrival of a key

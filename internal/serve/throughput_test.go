@@ -8,12 +8,37 @@ import (
 	"cohpredict/internal/serve"
 )
 
-// TestThroughputFloor is the acceptance load test: the batched endpoint
-// must sustain at least 100k events/sec end to end (JSON in, sharded
-// prediction, JSON out) on the development machine. Skipped in -short
-// runs and under the race detector, where the floor would measure the
-// instrumentation instead of the service.
-func TestThroughputFloor(t *testing.T) {
+// throughputBodies pre-encodes request bodies for the load tests so the
+// floors measure the service, not the test's marshaller. encode renders
+// one batch of API events into a request body (JSON or COHWIRE1).
+func throughputBodies(t testing.TB, batch, n int, encode func([]serve.EventRequest) []byte) [][]byte {
+	t.Helper()
+	wire := wireEvents(hammerEvents(batch*n, 16))
+	bodies := make([][]byte, 0, n)
+	for lo := 0; lo+batch <= len(wire); lo += batch {
+		bodies = append(bodies, encode(wire[lo:lo+batch]))
+	}
+	return bodies
+}
+
+func jsonEncode(t testing.TB) func([]serve.EventRequest) []byte {
+	return func(evs []serve.EventRequest) []byte {
+		b, err := jsonMarshal(evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+}
+
+func wireEncode(evs []serve.EventRequest) []byte {
+	return serve.AppendWireEvents(nil, evs)
+}
+
+// runThroughputFloor replays pre-encoded batches through the events
+// endpoint and fails if the sustained rate drops below floor events/sec.
+func runThroughputFloor(t *testing.T, contentType string, bodies [][]byte, batch int, floor float64) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("skipping load test in short mode")
 	}
@@ -30,40 +55,95 @@ func TestThroughputFloor(t *testing.T) {
 		Scheme: "union(pid+dir+add10)2[forwarded]",
 		Shards: 4,
 	})
+	path := "/v1/sessions/" + sess.ID + "/events"
+	hdr := map[string]string{"Content-Type": contentType}
 
-	// Pre-encode request bodies so the floor measures the service, not
-	// the client's marshaller.
-	const batch = 4096
-	evs := hammerEvents(batch*4, 16)
-	wire := wireEvents(evs)
-	bodies := make([][]byte, 0, 4)
-	for lo := 0; lo+batch <= len(wire); lo += batch {
-		b, err := jsonMarshal(wire[lo : lo+batch])
-		if err != nil {
-			t.Fatal(err)
-		}
-		bodies = append(bodies, b)
-	}
-
-	// Warm up the connection pool and the predictor table.
-	c.do("POST", "/v1/sessions/"+sess.ID+"/events", bodies[0], nil)
+	// Warm up the connection pool, the predictor table, and (on the wire
+	// path) the server's buffer pool.
+	c.doRaw("POST", path, bodies[0], hdr)
 
 	const rounds = 16
 	start := time.Now()
 	var total uint64
 	for r := 0; r < rounds; r++ {
-		var resp serve.EventsResponse
-		if code := c.do("POST", "/v1/sessions/"+sess.ID+"/events", bodies[r%len(bodies)], &resp); code != 200 {
-			t.Fatalf("round %d: status %d", r, code)
+		code, _, body := c.doRaw("POST", path, bodies[r%len(bodies)], hdr)
+		if code != 200 {
+			t.Fatalf("round %d: status %d: %s", r, code, body)
 		}
-		total += uint64(resp.Events)
+		total += uint64(batch)
 	}
 	elapsed := time.Since(start)
 	rate := float64(total) / elapsed.Seconds()
 	t.Logf("sustained %.0f events/sec (%d events in %v)", rate, total, elapsed)
-	if rate < 100_000 {
-		t.Fatalf("throughput %.0f events/sec below the 100k floor", rate)
+	if rate < floor {
+		t.Fatalf("throughput %.0f events/sec below the %.0f floor", rate, floor)
 	}
+}
+
+// TestThroughputFloor is the JSON acceptance load test: the batched
+// endpoint must sustain at least 100k events/sec end to end (JSON in,
+// sharded prediction, JSON out) on the development machine. Skipped in
+// -short runs and under the race detector, where the floor would measure
+// the instrumentation instead of the service.
+func TestThroughputFloor(t *testing.T) {
+	const batch = 4096
+	runThroughputFloor(t, "application/json",
+		throughputBodies(t, batch, 4, jsonEncode(t)), batch, 100_000)
+}
+
+// TestThroughputFloorWire is the binary acceptance load test, and the
+// PR's ratchet: COHWIRE1 in, pooled allocation-free decode and encode,
+// COHWIRE1 out must sustain at least 500k events/sec — five times the
+// JSON floor — with 1M/sec the aspirational target the benchmark ledger
+// tracks.
+func TestThroughputFloorWire(t *testing.T) {
+	const batch = 4096
+	runThroughputFloor(t, serve.ContentTypeWire,
+		throughputBodies(t, batch, 4, wireEncode), batch, 500_000)
+}
+
+// benchServeHTTP measures the end-to-end events/sec of one transport
+// through the full HTTP path.
+func benchServeHTTP(b *testing.B, contentType string, shards int, encode func([]serve.EventRequest) []byte) {
+	srv := serve.NewServer(serve.Options{})
+	defer srv.Shutdown()
+	c, closeTS := newClient(b, srv)
+	defer closeTS()
+
+	sess := c.createSession(serve.CreateSessionRequest{
+		Scheme: "union(pid+dir+add10)2[forwarded]", Shards: shards,
+	})
+	const batch = 1024
+	body := encode(wireEvents(hammerEvents(batch, 16)))
+	path := "/v1/sessions/" + sess.ID + "/events"
+	hdr := map[string]string{"Content-Type": contentType}
+	c.doRaw("POST", path, body, hdr) // warm pools and tables
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if code, _, _ := c.doRaw("POST", path, body, hdr); code != 200 {
+			b.Fatalf("status %d", code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkServeJSON/http and BenchmarkServeWire/http are the ledger's
+// end-to-end pair: identical batches, identical sessions, only the
+// transport differs (the codec-level halves live in the repo root's
+// bench_test.go).
+func BenchmarkServeJSON(b *testing.B) {
+	b.Run("http", func(b *testing.B) {
+		benchServeHTTP(b, "application/json", 4, jsonEncode(b))
+	})
+}
+
+func BenchmarkServeWire(b *testing.B) {
+	b.Run("http", func(b *testing.B) {
+		benchServeHTTP(b, serve.ContentTypeWire, 4, wireEncode)
+	})
 }
 
 // BenchmarkPostBatched reports the end-to-end cost per event through the

@@ -1,0 +1,326 @@
+package serve
+
+// COHWIRE1 — the service's binary wire protocol for event posts and
+// prediction replies, negotiated per request via Content-Type / Accept
+// ("application/x-cohwire"); the JSON API remains the debugging and
+// compatibility surface. The format follows the COHSNAP1 snapshot codec's
+// discipline exactly:
+//
+//	frame := magic kind payload
+//	magic := "COHWIRE1"                     (8 bytes)
+//	kind  := uvarint                        (1 = event batch, 2 = reply)
+//	batch := count:uvarint event*count
+//	event := pid pc dir addr inv_readers has_prev [prev_pid prev_pc] future_readers
+//	reply := count:uvarint prediction*count
+//
+// Every integer is a minimal-length uvarint (eval.Uvarint rejects any
+// other form), has_prev is a canonical boolean (only 0 or 1), the
+// prev_pid/prev_pc fields are present exactly when has_prev is 1, and
+// trailing bytes are rejected. One encoding per value means the decoders
+// are canonical: Encode(Decode(b)) == b for every accepted frame b, the
+// property the round-trip fuzz targets pin.
+//
+// The codec kernels are the serving hot path — one frame per HTTP request,
+// one field group per event at a target of a million events per second —
+// so they are //predlint:hotpath: no allocation (decoders append into
+// caller-owned buffers, encoders append in place), no fmt (errors are
+// static sentinels; the HTTP layer adds request context), no interface
+// boxing.
+
+import (
+	"errors"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/trace"
+)
+
+// ContentTypeWire is the negotiated media type of a COHWIRE1 frame.
+const ContentTypeWire = "application/x-cohwire"
+
+// wireMagic identifies the wire format (and its version).
+const wireMagic = "COHWIRE1"
+
+// Frame kinds. A batch frame fed to the reply decoder (or vice versa) is
+// rejected, so a misrouted body fails loudly instead of mis-decoding.
+const (
+	wireKindBatch = 1
+	wireKindReply = 2
+)
+
+// minWireEventBytes is the smallest possible encoded event (seven
+// single-byte uvarints: pid pc dir addr inv has_prev future); the batch
+// decoder bounds the declared count against it before any allocation.
+const minWireEventBytes = 7
+
+// Static decode errors. The kernels cannot call fmt (hotpath), so each
+// failure mode is a sentinel; handlers wrap them with request context.
+var (
+	errWireMagic      = errors.New("serve: wire frame magic missing")
+	errWireKind       = errors.New("serve: wire frame kind unknown")
+	errWireTruncated  = errors.New("serve: wire frame truncated")
+	errWireNonMinimal = errors.New("serve: wire frame has a non-minimal varint")
+	errWireCount      = errors.New("serve: wire frame count exceeds input or batch limit")
+	errWireBool       = errors.New("serve: wire frame has a non-boolean has_prev word")
+	errWireTrailing   = errors.New("serve: wire frame has trailing bytes")
+	errWireRange      = errors.New("serve: wire event field out of range for the session's machine")
+	errWireNodes      = errors.New("serve: wire decoder node count out of range")
+)
+
+// wireReader consumes canonical uvarints from a frame; the first failure
+// sticks in err and every later read returns zero.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+//predlint:hotpath
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n, ok := eval.Uvarint(r.b)
+	switch {
+	case n == 0:
+		r.err = errWireTruncated
+		return 0
+	case !ok:
+		r.err = errWireNonMinimal
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// header checks the magic and the expected frame kind, returning false
+// (with r.err set) on mismatch.
+//
+//predlint:hotpath
+func (r *wireReader) header(kind uint64) bool {
+	if len(r.b) < len(wireMagic) || string(r.b[:len(wireMagic)]) != wireMagic {
+		r.err = errWireMagic
+		return false
+	}
+	r.b = r.b[len(wireMagic):]
+	k := r.uvarint()
+	if r.err != nil {
+		return false
+	}
+	if k != kind {
+		r.err = errWireKind
+		return false
+	}
+	return true
+}
+
+// appendWireEvent encodes one event's field group (shared by the
+// trace.Event and EventRequest encoders so the layout lives in one place).
+//
+//predlint:hotpath
+func appendWireEvent(dst []byte, pid int, pc uint64, dir int, addr, inv uint64,
+	hasPrev bool, prevPID int, prevPC, future uint64) []byte {
+	dst = appendUvarint(dst, uint64(pid))
+	dst = appendUvarint(dst, pc)
+	dst = appendUvarint(dst, uint64(dir))
+	dst = appendUvarint(dst, addr)
+	dst = appendUvarint(dst, inv)
+	if hasPrev {
+		dst = appendUvarint(dst, 1)
+		dst = appendUvarint(dst, uint64(prevPID))
+		dst = appendUvarint(dst, prevPC)
+	} else {
+		dst = appendUvarint(dst, 0)
+	}
+	return appendUvarint(dst, future)
+}
+
+// appendUvarint is binary.AppendUvarint without the import cycle bait: a
+// local spelling keeps the encoder self-contained and inlinable.
+//
+//predlint:hotpath
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// AppendWireBatch appends the COHWIRE1 batch frame for evs to dst and
+// returns the extended slice. It is the canonical encoder the round-trip
+// proofs (and the server-side tests) re-encode with.
+//
+//predlint:hotpath
+func AppendWireBatch(dst []byte, evs []trace.Event) []byte {
+	dst = append(dst, wireMagic...)
+	dst = appendUvarint(dst, wireKindBatch)
+	dst = appendUvarint(dst, uint64(len(evs)))
+	for i := range evs {
+		ev := &evs[i]
+		dst = appendWireEvent(dst, ev.PID, ev.PC, ev.Dir, ev.Addr, uint64(ev.InvReaders),
+			ev.HasPrev, ev.PrevPID, ev.PrevPC, uint64(ev.FutureReaders))
+	}
+	return dst
+}
+
+// AppendWireEvents appends the batch frame for API-form events (the
+// client-side encoder; field layout is identical to AppendWireBatch).
+//
+//predlint:hotpath
+func AppendWireEvents(dst []byte, evs []EventRequest) []byte {
+	dst = append(dst, wireMagic...)
+	dst = appendUvarint(dst, wireKindBatch)
+	dst = appendUvarint(dst, uint64(len(evs)))
+	for i := range evs {
+		r := &evs[i]
+		dst = appendWireEvent(dst, r.PID, r.PC, r.Dir, r.Addr, r.InvReaders,
+			r.HasPrev, r.PrevPID, r.PrevPC, r.FutureReaders)
+	}
+	return dst
+}
+
+// DecodeWireBatchInto decodes a COHWIRE1 batch frame for an n-node
+// machine, appending the validated events to dst (pass a pooled slice at
+// length 0 to decode without allocating once its capacity has warmed up)
+// and returning the extended slice. Validation matches the JSON decoder
+// exactly: in-range pids and dirs, bitmaps confined to the machine,
+// prev fields only under has_prev. The decoder never panics, and accepts
+// only the canonical form — AppendWireBatch over the result reproduces
+// the input byte for byte.
+//
+//predlint:hotpath
+func DecodeWireBatchInto(data []byte, nodes int, dst []trace.Event) ([]trace.Event, error) {
+	if nodes <= 0 || nodes > bitmap.MaxNodes {
+		return dst, errWireNodes
+	}
+	full := uint64(bitmap.Full(nodes))
+	r := wireReader{b: data}
+	if !r.header(wireKindBatch) {
+		return dst, r.err
+	}
+	n := r.uvarint()
+	if r.err != nil {
+		return dst, r.err
+	}
+	if n > MaxBatchEvents || n > uint64(len(r.b))/minWireEventBytes {
+		return dst, errWireCount
+	}
+	for i := uint64(0); i < n; i++ {
+		var ev trace.Event
+		pid := r.uvarint()
+		ev.PC = r.uvarint()
+		dir := r.uvarint()
+		ev.Addr = r.uvarint()
+		inv := r.uvarint()
+		hp := r.uvarint()
+		if r.err != nil {
+			return dst, r.err
+		}
+		if hp > 1 {
+			return dst, errWireBool
+		}
+		if hp == 1 {
+			ev.HasPrev = true
+			prevPID := r.uvarint()
+			ev.PrevPC = r.uvarint()
+			if prevPID >= uint64(nodes) {
+				if r.err != nil {
+					return dst, r.err
+				}
+				return dst, errWireRange
+			}
+			ev.PrevPID = int(prevPID)
+		}
+		future := r.uvarint()
+		if r.err != nil {
+			return dst, r.err
+		}
+		if pid >= uint64(nodes) || dir >= uint64(nodes) || inv&^full != 0 || future&^full != 0 {
+			return dst, errWireRange
+		}
+		ev.PID = int(pid)
+		ev.Dir = int(dir)
+		ev.InvReaders = bitmap.Bitmap(inv)
+		ev.FutureReaders = bitmap.Bitmap(future)
+		dst = append(dst, ev)
+	}
+	if len(r.b) != 0 {
+		return dst, errWireTrailing
+	}
+	return dst, nil
+}
+
+// DecodeWireBatch is DecodeWireBatchInto with a fresh destination (the
+// convenience form tests and fuzz targets use).
+func DecodeWireBatch(data []byte, nodes int) ([]trace.Event, error) {
+	evs, err := DecodeWireBatchInto(data, nodes, nil)
+	if err != nil {
+		return nil, err
+	}
+	if evs == nil {
+		evs = []trace.Event{}
+	}
+	return evs, nil
+}
+
+// AppendWireReply appends the COHWIRE1 reply frame carrying one predicted
+// sharing bitmap per event, in request order.
+//
+//predlint:hotpath
+func AppendWireReply(dst []byte, preds []bitmap.Bitmap) []byte {
+	dst = append(dst, wireMagic...)
+	dst = appendUvarint(dst, wireKindReply)
+	dst = appendUvarint(dst, uint64(len(preds)))
+	for _, p := range preds {
+		dst = appendUvarint(dst, uint64(p))
+	}
+	return dst
+}
+
+// DecodeWireReplyInto decodes a reply frame, appending the predictions to
+// dst. Like the batch decoder it is total (never panics) and canonical
+// (AppendWireReply over the result reproduces the input exactly).
+//
+//predlint:hotpath
+func DecodeWireReplyInto(data []byte, dst []bitmap.Bitmap) ([]bitmap.Bitmap, error) {
+	r := wireReader{b: data}
+	if !r.header(wireKindReply) {
+		return dst, r.err
+	}
+	n := r.uvarint()
+	if r.err != nil {
+		return dst, r.err
+	}
+	if n > MaxBatchEvents || n > uint64(len(r.b)) {
+		return dst, errWireCount
+	}
+	for i := uint64(0); i < n; i++ {
+		p := r.uvarint()
+		if r.err != nil {
+			return dst, r.err
+		}
+		dst = append(dst, bitmap.Bitmap(p))
+	}
+	if len(r.b) != 0 {
+		return dst, errWireTrailing
+	}
+	return dst, nil
+}
+
+// DecodeWireReply is DecodeWireReplyInto with a fresh destination.
+func DecodeWireReply(data []byte) ([]bitmap.Bitmap, error) {
+	preds, err := DecodeWireReplyInto(data, nil)
+	if err != nil {
+		return nil, err
+	}
+	if preds == nil {
+		preds = []bitmap.Bitmap{}
+	}
+	return preds, nil
+}
+
+// IsWireFrame reports whether data begins with the COHWIRE1 magic — the
+// cheap sniff clients use to pick a reply decoder.
+func IsWireFrame(data []byte) bool {
+	return len(data) >= len(wireMagic) && string(data[:len(wireMagic)]) == wireMagic
+}

@@ -1,0 +1,122 @@
+package serve
+
+// The HTTP face of COHWIRE1: content negotiation and the allocation-free
+// request path. A binary events post flows through pooled buffers end to
+// end — body bytes, decoded events, prediction slots, and the encoded
+// reply all live in a per-request *wireBuf recycled through a sync.Pool —
+// so the steady-state cost per event is the codec kernels plus the shard
+// work, with no per-event garbage. (Idempotent posts are the exception:
+// their predictions are cached for replay, so they must own heap slices;
+// see handleEventsWire.)
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cohpredict/internal/bitmap"
+	"cohpredict/internal/trace"
+)
+
+// wireBuf is one request's worth of reusable buffers. Slices are stored
+// at whatever capacity they grew to; every use re-slices to length 0.
+type wireBuf struct {
+	body  []byte
+	evs   []trace.Event
+	preds []bitmap.Bitmap
+	out   []byte
+}
+
+var wireBufs = sync.Pool{New: func() interface{} { return new(wireBuf) }}
+
+// mediaType extracts the lower-cased media type from a Content-Type
+// header, dropping parameters ("application/x-cohwire; v=1" → the type).
+func mediaType(h string) string {
+	if i := strings.IndexByte(h, ';'); i >= 0 {
+		h = h[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(h))
+}
+
+// wantsWire reports whether the request asked for a binary reply. The
+// check is a substring match: Accept lists are short and the token is
+// unambiguous, so full q-value parsing buys nothing here.
+func wantsWire(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), ContentTypeWire)
+}
+
+// readBodyInto reads the whole request body into buf (recycled across
+// requests; grown only until the working batch size has been seen),
+// honouring the server's body limit.
+func (s *Server) readBodyInto(r *http.Request, buf []byte) ([]byte, error) {
+	rd := http.MaxBytesReader(nil, r.Body, s.opts.MaxBodyBytes)
+	b := buf[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := rd.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		switch {
+		case err == io.EOF:
+			return b, nil
+		case err != nil:
+			return b, httpErr(http.StatusRequestEntityTooLarge, fmt.Errorf("serve: reading body: %w", err))
+		}
+	}
+}
+
+// writeWire sends a COHWIRE1 frame as the response body.
+func writeWire(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", ContentTypeWire)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame)
+}
+
+// handleEventsWire is the binary events path. Unkeyed posts (the
+// throughput case) are allocation-free: pooled body/event/prediction/reply
+// buffers, the batch decoded straight into the event structs the shard
+// ops point at, the reply encoded in place. Keyed posts allocate their
+// prediction slice because the idempotency cache retains it for replays —
+// a pooled slice would be recycled under the cache's feet.
+func (s *Server) handleEventsWire(w http.ResponseWriter, r *http.Request, sess *Session) error {
+	buf := wireBufs.Get().(*wireBuf)
+	defer wireBufs.Put(buf)
+
+	body, err := s.readBodyInto(r, buf.body)
+	buf.body = body[:0]
+	if err != nil {
+		return err
+	}
+	evs, err := DecodeWireBatchInto(body, sess.cfg.Machine.Nodes, buf.evs[:0])
+	if evs != nil {
+		buf.evs = evs[:0]
+	}
+	if err != nil {
+		return httpErr(http.StatusBadRequest, fmt.Errorf("serve: decoding wire batch: %w", err))
+	}
+	s.om.wireRequests.Inc()
+
+	var preds []bitmap.Bitmap
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		preds, err = sess.PostKeyed(key, evs)
+	} else {
+		if cap(buf.preds) < len(evs) {
+			buf.preds = make([]bitmap.Bitmap, len(evs))
+		}
+		preds = buf.preds[:len(evs)]
+		err = sess.PostInto(evs, preds)
+	}
+	if err != nil {
+		return err
+	}
+
+	out := AppendWireReply(buf.out[:0], preds)
+	buf.out = out[:0]
+	writeWire(w, out)
+	return nil
+}
