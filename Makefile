@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test race bench build obs-demo serve-demo chaos-demo fuzz-smoke cover bench-ledger throughput-smoke
+.PHONY: check vet lint test race bench build obs-demo serve-demo chaos-demo trace-demo fuzz-smoke cover bench-ledger throughput-smoke
 
 check: vet lint race
 
@@ -52,6 +52,13 @@ serve-demo:
 chaos-demo:
 	$(GO) run ./cmd/predserve -chaos-demo
 
+# Flight-recorder demo: boot an in-process server with seeded chaos
+# faults, stream batches at it, fetch /v1/debug/{requests,slow}, and
+# render the per-stage waterfall — every injected fault correlated to a
+# client request ID, or the demo exits non-zero.
+trace-demo:
+	$(GO) run ./cmd/predtrace -demo
+
 # Short native-fuzzing pass over the serialized attack surfaces: the JSON
 # event decoder, the COHWIRE1 batch/reply decoders (plus the JSON↔binary
 # cross-equivalence property), the shard router's co-location invariants,
@@ -81,7 +88,8 @@ throughput-smoke:
 # below measured coverage, so a change that lands a chunk of untested code
 # in the serving/eval/fault/client layers fails the build.
 cover:
-	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client ./internal/flight ./cmd/predtrace
 	$(GO) run ./cmd/covergate -profile cover.out \
 		internal/serve=85 internal/eval=88 internal/fault=95 internal/client=72 \
+		internal/flight=85 cmd/predtrace=80 \
 		internal/serve/wire.go=85

@@ -2,14 +2,16 @@
 // committed benchmark ledger (BENCH_predserve.json) and validates it.
 // The ledger is the PR-reviewable record of the serve path's speed: the
 // JSON and COHWIRE1 transports side by side (ns/op, allocs/op, and the
-// benches' custom events/sec metric), plus a summary with the headline
-// end-to-end rates and the wire-over-JSON speedup.
+// benches' custom events/sec metric), the p50/p99 request latency the
+// HTTP benches read back from the flight recorder's histograms, plus a
+// summary with the headline end-to-end rates, latency quantiles, and the
+// wire-over-JSON speedup.
 //
 //	go test -run='^$' -bench='BenchmarkServe(JSON|Wire)' -benchmem . ./internal/serve \
 //	    | benchledger -out BENCH_predserve.json
 //	benchledger -check BENCH_predserve.json
 //
-// -check exits non-zero unless the file matches the predserve-bench/v1
+// -check exits non-zero unless the file matches the predserve-bench/v2
 // schema; CI runs it so a hand-edited or stale ledger fails the build.
 package main
 
@@ -26,8 +28,9 @@ import (
 	"strings"
 )
 
-// Schema is the ledger format identifier -check validates against.
-const Schema = "predserve-bench/v1"
+// Schema is the ledger format identifier -check validates against. v2
+// added the per-bench and summary latency quantiles (p50_ms/p99_ms).
+const Schema = "predserve-bench/v2"
 
 // Ledger is the BENCH_predserve.json document.
 type Ledger struct {
@@ -42,21 +45,30 @@ type Ledger struct {
 
 // Bench is one benchmark's measurements. EventsPerSec is the custom
 // metric every serve bench reports; AllocsPerOp is present whenever the
-// bench ran under -benchmem.
+// bench ran under -benchmem; the latency quantiles appear only on the
+// end-to-end HTTP benches, which read them back from the flight
+// recorder's serve_request_seconds histograms.
 type Bench struct {
 	Name         string  `json:"name"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	P50Ms        float64 `json:"p50_ms,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
 }
 
 // Summary carries the headline numbers: the end-to-end (HTTP) events/sec
-// of each transport and their ratio.
+// and request-latency quantiles of each transport, and the throughput
+// ratio.
 type Summary struct {
 	JSONEventsPerSec float64 `json:"json_events_per_sec"`
 	WireEventsPerSec float64 `json:"wire_events_per_sec"`
 	Speedup          float64 `json:"speedup"`
+	JSONP50Ms        float64 `json:"json_p50_ms,omitempty"`
+	JSONP99Ms        float64 `json:"json_p99_ms,omitempty"`
+	WireP50Ms        float64 `json:"wire_p50_ms,omitempty"`
+	WireP99Ms        float64 `json:"wire_p99_ms,omitempty"`
 }
 
 func main() {
@@ -153,6 +165,10 @@ func parse(r io.Reader, match string) (*Ledger, error) {
 				b.AllocsPerOp = v
 			case "events/sec":
 				b.EventsPerSec = v
+			case "p50-ms":
+				b.P50Ms = v
+			case "p99-ms":
+				b.P99Ms = v
 			}
 		}
 	}
@@ -176,6 +192,12 @@ func parse(r io.Reader, match string) (*Ledger, error) {
 	ledger.Summary.WireEventsPerSec = pick(byName, "BenchmarkServeWire/http", "BenchmarkServeWire/decode")
 	if ledger.Summary.JSONEventsPerSec > 0 {
 		ledger.Summary.Speedup = ledger.Summary.WireEventsPerSec / ledger.Summary.JSONEventsPerSec
+	}
+	if b := byName["BenchmarkServeJSON/http"]; b != nil {
+		ledger.Summary.JSONP50Ms, ledger.Summary.JSONP99Ms = b.P50Ms, b.P99Ms
+	}
+	if b := byName["BenchmarkServeWire/http"]; b != nil {
+		ledger.Summary.WireP50Ms, ledger.Summary.WireP99Ms = b.P50Ms, b.P99Ms
 	}
 	return ledger, nil
 }
@@ -227,8 +249,11 @@ func validate(path string) error {
 		if b.NsPerOp <= 0 {
 			bad("bench %q: ns_per_op %v not positive", b.Name, b.NsPerOp)
 		}
-		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 || b.EventsPerSec < 0 {
+		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 || b.EventsPerSec < 0 || b.P50Ms < 0 || b.P99Ms < 0 {
 			bad("bench %q: negative measurement", b.Name)
+		}
+		if b.P50Ms > 0 && b.P99Ms > 0 && b.P50Ms > b.P99Ms {
+			bad("bench %q: p50 %.3fms above p99 %.3fms", b.Name, b.P50Ms, b.P99Ms)
 		}
 	}
 	s := l.Summary
@@ -236,6 +261,15 @@ func validate(path string) error {
 		bad("summary missing transport rates: %+v", s)
 	} else if got := s.WireEventsPerSec / s.JSONEventsPerSec; s.Speedup < 0.99*got || s.Speedup > 1.01*got {
 		bad("summary speedup %.3f inconsistent with rates (%.3f)", s.Speedup, got)
+	}
+	if s.JSONP50Ms < 0 || s.JSONP99Ms < 0 || s.WireP50Ms < 0 || s.WireP99Ms < 0 {
+		bad("summary has a negative latency quantile: %+v", s)
+	}
+	if s.JSONP50Ms > 0 && s.JSONP99Ms > 0 && s.JSONP50Ms > s.JSONP99Ms {
+		bad("summary json p50 %.3fms above p99 %.3fms", s.JSONP50Ms, s.JSONP99Ms)
+	}
+	if s.WireP50Ms > 0 && s.WireP99Ms > 0 && s.WireP50Ms > s.WireP99Ms {
+		bad("summary wire p50 %.3fms above p99 %.3fms", s.WireP50Ms, s.WireP99Ms)
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("%s fails the %s schema:\n  %s", path, Schema, strings.Join(problems, "\n  "))

@@ -31,6 +31,7 @@ import (
 
 	"cohpredict/internal/eval"
 	"cohpredict/internal/fault"
+	"cohpredict/internal/flight"
 	"cohpredict/internal/obs"
 	"cohpredict/internal/serve"
 )
@@ -57,6 +58,9 @@ func run() error {
 		obsOut  = flag.String("obs", "", "write the final observability snapshot to this JSON file on shutdown")
 		demo    = flag.Bool("demo", false, "start on a loopback port, run a scripted session against the API, print the stats, and exit")
 		version = flag.Bool("version", false, "print version and build identity, then exit")
+
+		traceSample = flag.Int("trace-sample", flight.DefaultSample, "flight recorder: record every Nth healthy events request (1 = all; errors, faults, and slow requests always record)")
+		slowThresh  = flag.Duration("slow-threshold", flight.DefaultSlowThreshold, "flight recorder: promote requests at least this slow to /v1/debug/slow")
 
 		chaosSeed     = flag.Int64("chaos-seed", 42, "seed for the fault injector; a chaos run replays from this value alone")
 		chaosDrop     = flag.Float64("chaos-drop", 0, "probability of dropping a batch at queue admission (503)")
@@ -117,6 +121,11 @@ func run() error {
 		Log:           logger,
 		DefaultShards: *shards,
 		Fault:         inj,
+		Flight: flight.New(flight.Options{
+			Registry:      reg,
+			Sample:        *traceSample,
+			SlowThreshold: *slowThresh,
+		}),
 	})
 
 	for _, rs := range restores {

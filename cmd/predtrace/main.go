@@ -1,0 +1,404 @@
+// Command predtrace reads the flight recorder of a running predserve and
+// renders it for humans: per-stage latency quantiles (decode → queue →
+// batch → exec → encode) and a waterfall of the slowest captured
+// requests, each bar segmented by where the request spent its time.
+//
+//	predtrace                          # fetch /v1/debug/requests from :8091
+//	predtrace -slow                    # the slow-log instead
+//	predtrace -base http://host:8091 -save now.json
+//	predtrace -in before.json          # render a saved capture
+//	predtrace -diff before.json        # fetched capture vs a saved one, per-stage delta
+//	predtrace -demo                    # self-contained: server + chaos + trace + render
+//
+// Captures are the exact JSON the debug endpoints serve, so a saved file
+// from last week diffs cleanly against a live fetch today. The demo mode
+// boots an in-process predserve with a seeded fault injector, streams
+// batches at it through the resilient client, and renders both captures —
+// every injected fault shows up in the slow-log under the request ID the
+// client minted, which is the whole point of the recorder.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cohpredict/internal/client"
+	"cohpredict/internal/fault"
+	"cohpredict/internal/flight"
+	"cohpredict/internal/obs"
+	"cohpredict/internal/serve"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "predtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, argv []string) error {
+	fs := flag.NewFlagSet("predtrace", flag.ContinueOnError)
+	var (
+		base = fs.String("base", "http://127.0.0.1:8091", "predserve base URL")
+		slow = fs.Bool("slow", false, "fetch the slow-log (/v1/debug/slow) instead of the sampled ring")
+		in   = fs.String("in", "", "render this saved capture file instead of fetching")
+		save = fs.String("save", "", "write the capture JSON to this file as well")
+		diff = fs.String("diff", "", "compare the capture against this saved one (per-stage p50/p99 delta)")
+		top  = fs.Int("top", 10, "waterfall rows to render (slowest first)")
+		demo = fs.Bool("demo", false, "run the self-contained demo: in-process server, chaos faults, render")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *demo {
+		return runDemo(w)
+	}
+
+	var (
+		cap flight.Capture
+		err error
+	)
+	if *in != "" {
+		cap, err = loadCapture(*in)
+	} else {
+		path := "/v1/debug/requests"
+		if *slow {
+			path = "/v1/debug/slow"
+		}
+		cap, err = fetchCapture(*base, path)
+	}
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		data, err := json.MarshalIndent(cap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*save, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *diff != "" {
+		before, err := loadCapture(*diff)
+		if err != nil {
+			return err
+		}
+		renderDiff(w, before, cap)
+		return nil
+	}
+	renderCapture(w, cap, *top)
+	return nil
+}
+
+func fetchCapture(base, path string) (flight.Capture, error) {
+	var cap flight.Capture
+	resp, err := http.Get(strings.TrimRight(base, "/") + path)
+	if err != nil {
+		return cap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return cap, fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cap); err != nil {
+		return cap, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return cap, nil
+}
+
+func loadCapture(path string) (flight.Capture, error) {
+	var cap flight.Capture
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cap, err
+	}
+	if err := json.Unmarshal(data, &cap); err != nil {
+		return cap, fmt.Errorf("%s: %w", path, err)
+	}
+	return cap, nil
+}
+
+// stages are rendered in request order; each has an extractor and the
+// single letter its waterfall segment is drawn with.
+var stages = []struct {
+	name   string
+	letter byte
+	ns     func(flight.Entry) int64
+}{
+	{"decode", 'd', func(e flight.Entry) int64 { return e.DecodeNS }},
+	{"queue", 'q', func(e flight.Entry) int64 { return e.QueueNS }},
+	{"batch", 'b', func(e flight.Entry) int64 { return e.BatchNS }},
+	{"exec", 'x', func(e flight.Entry) int64 { return e.ExecNS }},
+	{"encode", 'e', func(e flight.Entry) int64 { return e.EncodeNS }},
+}
+
+// stageStat is one row of the quantile table, in milliseconds.
+type stageStat struct {
+	Name          string
+	P50, P99, Max float64
+}
+
+// stageStats computes per-stage p50/p99/max over the capture's entries,
+// with a final "total" row for the end-to-end request time.
+func stageStats(entries []flight.Entry) []stageStat {
+	out := make([]stageStat, 0, len(stages)+1)
+	col := make([]float64, len(entries))
+	fill := func(name string, ns func(flight.Entry) int64) {
+		for i, e := range entries {
+			col[i] = float64(ns(e)) / 1e6
+		}
+		sort.Float64s(col)
+		s := stageStat{Name: name, P50: quantile(col, 0.50), P99: quantile(col, 0.99)}
+		if len(col) > 0 {
+			s.Max = col[len(col)-1]
+		}
+		out = append(out, s)
+	}
+	for _, st := range stages {
+		fill(st.name, st.ns)
+	}
+	fill("total", func(e flight.Entry) int64 { return e.TotalNS })
+	return out
+}
+
+// quantile interpolates linearly between the order statistics of a sorted
+// sample — exact at the observed points, unlike the bucketed estimate the
+// histograms export.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
+	}
+	return sorted[lo] + (sorted[hi]-sorted[lo])*(pos-float64(lo))
+}
+
+const barWidth = 32
+
+// waterfallBar draws one request as a fixed-width bar segmented by stage
+// letters, scaled against maxNS (the slowest request on display). Stage
+// segments round to at least one cell when the stage ran at all, so a
+// fast-but-present stage stays visible.
+func waterfallBar(e flight.Entry, maxNS int64) string {
+	if maxNS <= 0 {
+		maxNS = 1
+	}
+	bar := make([]byte, 0, barWidth)
+	for _, st := range stages {
+		ns := st.ns(e)
+		if ns <= 0 {
+			continue
+		}
+		n := int(float64(ns) / float64(maxNS) * barWidth)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n && len(bar) < barWidth; i++ {
+			bar = append(bar, st.letter)
+		}
+	}
+	for len(bar) < barWidth {
+		bar = append(bar, '.')
+	}
+	return string(bar)
+}
+
+func fmtMs(ms float64) string {
+	return fmt.Sprintf("%.3fms", ms)
+}
+
+// renderCapture prints the quantile table and the top-N slowest requests
+// as a waterfall.
+func renderCapture(w io.Writer, cap flight.Capture, top int) {
+	fmt.Fprintf(w, "capture: %s (sample 1/%d, slow >= %s, seen %d, %d records)\n\n",
+		cap.Kind, cap.Sample, time.Duration(cap.SlowNS), cap.Seen, len(cap.Requests))
+	if len(cap.Requests) == 0 {
+		fmt.Fprintln(w, "no captured requests.")
+		return
+	}
+
+	fmt.Fprintf(w, "%-8s %12s %12s %12s\n", "stage", "p50", "p99", "max")
+	for _, s := range stageStats(cap.Requests) {
+		fmt.Fprintf(w, "%-8s %12s %12s %12s\n", s.Name, fmtMs(s.P50), fmtMs(s.P99), fmtMs(s.Max))
+	}
+
+	byTotal := append([]flight.Entry(nil), cap.Requests...)
+	sort.SliceStable(byTotal, func(i, j int) bool { return byTotal[i].TotalNS > byTotal[j].TotalNS })
+	if top > len(byTotal) {
+		top = len(byTotal)
+	}
+	maxNS := byTotal[0].TotalNS
+
+	fmt.Fprintf(w, "\nslowest %d of %d (d=decode q=queue b=batch x=exec e=encode):\n", top, len(byTotal))
+	for _, e := range byTotal[:top] {
+		mark := ""
+		if len(e.Faults) > 0 {
+			mark = " faults=" + strings.Join(e.Faults, ",")
+		}
+		if e.Replay {
+			mark += " replay"
+		}
+		fmt.Fprintf(w, "%5d %4s %3d %6dev %9s |%s| %s%s\n",
+			e.Seq, e.Transport, e.Status, e.Events,
+			fmtMs(float64(e.TotalNS)/1e6), waterfallBar(e, maxNS), e.ID, mark)
+	}
+}
+
+// renderDiff prints the per-stage quantiles of two captures side by side
+// with the relative change, before → after.
+func renderDiff(w io.Writer, before, after flight.Capture) {
+	fmt.Fprintf(w, "diff: %d -> %d records\n\n", len(before.Requests), len(after.Requests))
+	a := stageStats(before.Requests)
+	b := stageStats(after.Requests)
+	fmt.Fprintf(w, "%-8s %12s %12s %8s   %12s %12s %8s\n",
+		"stage", "p50 before", "p50 after", "Δp50", "p99 before", "p99 after", "Δp99")
+	for i := range a {
+		fmt.Fprintf(w, "%-8s %12s %12s %8s   %12s %12s %8s\n",
+			a[i].Name,
+			fmtMs(a[i].P50), fmtMs(b[i].P50), delta(a[i].P50, b[i].P50),
+			fmtMs(a[i].P99), fmtMs(b[i].P99), delta(a[i].P99, b[i].P99))
+	}
+}
+
+func delta(before, after float64) string {
+	if before == 0 {
+		if after == 0 {
+			return "0%"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.0f%%", (after-before)/before*100)
+}
+
+// runDemo is the self-contained walkthrough: an in-process server with a
+// seeded fault injector and an always-sampling recorder, driven by the
+// resilient client, then both captures rendered. Every injected fault
+// lands in the slow-log under a client-minted request ID, and every ID
+// the client retried names a slow-log entry.
+func runDemo(w io.Writer) error {
+	reg := obs.New()
+	inj := fault.New(fault.Config{
+		Seed:     7,
+		Drop:     0.05,
+		Delay:    0.10,
+		MaxDelay: 200 * time.Microsecond,
+		Error:    0.05,
+		Reset:    0.02,
+	}, reg)
+	srv := serve.NewServer(serve.Options{
+		Registry: reg,
+		Fault:    inj,
+		Flight: flight.New(flight.Options{
+			Registry:      reg,
+			Sample:        1,
+			SlowThreshold: 2 * time.Millisecond,
+		}),
+	})
+	defer srv.Shutdown()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(w, "demo server on %s (chaos seed 7: drops, delays, 500s, resets)\n", base)
+
+	cl := client.New(client.Options{
+		BaseURL: base,
+		Seed:    7,
+		Binary:  true,
+		Sleep:   func(time.Duration) {}, // skip backoff waits; the demo is about traces
+	})
+	sess, err := cl.CreateSession(serve.CreateSessionRequest{
+		Scheme: "union(dir+add8)2[forwarded]", Nodes: 16, Shards: 2,
+	})
+	if err != nil {
+		return err
+	}
+
+	const batches, batch = 48, 256
+	for i := 0; i < batches; i++ {
+		if _, err := cl.PostEvents(sess.ID, demoEvents(i, batch, 16)); err != nil {
+			return fmt.Errorf("posting batch %d: %w", i, err)
+		}
+	}
+
+	slow, err := fetchCapture(base, "/v1/debug/slow")
+	if err != nil {
+		return err
+	}
+	reqs, err := fetchCapture(base, "/v1/debug/requests")
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\n== sampled ring ==\n")
+	renderCapture(w, reqs, 5)
+	fmt.Fprintf(w, "\n== slow-log (faulted and slow requests) ==\n")
+	renderCapture(w, slow, 10)
+
+	slowIDs := make(map[string]bool, len(slow.Requests))
+	faulted := 0
+	for _, e := range slow.Requests {
+		slowIDs[e.ID] = true
+		if len(e.Faults) > 0 {
+			faulted++
+		}
+	}
+	st := cl.Stats()
+	missing := 0
+	for _, id := range st.RetriedIDs {
+		if !slowIDs[id] {
+			missing++
+		}
+	}
+	fmt.Fprintf(w, "\nclient retried %d request(s); %d of those IDs missing from the slow-log\n",
+		len(st.RetriedIDs), missing)
+	fmt.Fprintf(w, "slow-log holds %d entries, %d carrying injected-fault tags: %+v\n",
+		len(slow.Requests), faulted, inj.Stats())
+	if missing > 0 {
+		return fmt.Errorf("%d retried request IDs not found in the slow-log", missing)
+	}
+	if faulted == 0 {
+		return fmt.Errorf("chaos run injected faults but the slow-log shows none")
+	}
+	return nil
+}
+
+// demoEvents builds one producer-consumer batch: each producer writes a
+// block its neighbours then read, so the predictor has something to learn.
+func demoEvents(round, n, nodes int) []serve.EventRequest {
+	evs := make([]serve.EventRequest, n)
+	for i := range evs {
+		pid := (round + i) % nodes
+		evs[i] = serve.EventRequest{
+			PID:           pid,
+			PC:            uint64(40 + i%4),
+			Addr:          uint64(0x1000 + (i%32)*64),
+			InvReaders:    uint64(3 << uint(pid%4)),
+			FutureReaders: uint64(3 << uint(pid%4)),
+		}
+	}
+	return evs
+}

@@ -119,6 +119,9 @@ func retrySafeResponse(err error) bool {
 		(ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable)
 }
 
+// maxRetriedIDs bounds the retried-request-ID window Stats surfaces.
+const maxRetriedIDs = 64
+
 // Stats is the client's view of a retry loop's work.
 type Stats struct {
 	Requests    int64  // HTTP attempts issued
@@ -129,6 +132,11 @@ type Stats struct {
 	BinaryPosts int64  // event batches sent as COHWIRE1 frames
 	JSONPosts   int64  // event batches sent as JSON
 	Downgrades  int64  // binary→JSON downgrades (0 or 1: the switch is one-way)
+	// RetriedIDs are the X-Request-IDs of the most recent event posts
+	// (up to maxRetriedIDs) that needed at least one retry — the handle
+	// for correlating a client-side retry with the server's flight
+	// recorder, where every attempt appears under the same id.
+	RetriedIDs []string
 }
 
 // Client talks to one predserve instance with retries and idempotency.
@@ -141,10 +149,14 @@ type Client struct {
 	rng *rand.Rand
 
 	seq      atomic.Uint64
+	reqSeq   atomic.Uint64
 	requests atomic.Int64
 	retries  atomic.Int64
 	replays  atomic.Int64
 	sleptNS  atomic.Int64
+
+	idsMu      sync.Mutex
+	retriedIDs []string
 
 	binary      atomic.Bool // still posting COHWIRE1 (cleared by the one-way downgrade)
 	binaryPosts atomic.Int64
@@ -190,6 +202,9 @@ func (c *Client) Stats() Stats {
 	if c.binary.Load() {
 		transport = "cohwire"
 	}
+	c.idsMu.Lock()
+	ids := append([]string(nil), c.retriedIDs...)
+	c.idsMu.Unlock()
 	return Stats{
 		Requests:    c.requests.Load(),
 		Retries:     c.retries.Load(),
@@ -199,7 +214,19 @@ func (c *Client) Stats() Stats {
 		BinaryPosts: c.binaryPosts.Load(),
 		JSONPosts:   c.jsonPosts.Load(),
 		Downgrades:  c.downgrades.Load(),
+		RetriedIDs:  ids,
 	}
+}
+
+// noteRetriedID records a request id whose post needed a retry, keeping
+// only the most recent maxRetriedIDs.
+func (c *Client) noteRetriedID(id string) {
+	c.idsMu.Lock()
+	c.retriedIDs = append(c.retriedIDs, id)
+	if len(c.retriedIDs) > maxRetriedIDs {
+		c.retriedIDs = c.retriedIDs[len(c.retriedIDs)-maxRetriedIDs:]
+	}
+	c.idsMu.Unlock()
 }
 
 // backoff returns the jittered wait before retry attempt n (0-based):
@@ -233,11 +260,20 @@ func (c *Client) NextIdempotencyKey() string {
 	return fmt.Sprintf("%016x-%d", uint64(c.opts.Seed), c.seq.Add(1))
 }
 
+// nextRequestID mints the X-Request-ID for one logical event post: seed-
+// scoped like the idempotency key (the "-r" infix keeps the two spaces
+// apart) and stable across every retry of the post, so all of a batch's
+// attempts coalesce under one id in the server's flight recorder.
+func (c *Client) nextRequestID() string {
+	return fmt.Sprintf("%016x-r%d", uint64(c.opts.Seed), c.reqSeq.Add(1))
+}
+
 // do runs one retrying request under the given retry policy (Retryable
 // for idempotent requests, retrySafeResponse for non-idempotent ones).
 // idemKey, when non-empty, is sent as the Idempotency-Key header on every
-// attempt. The response body (for 2xx) is returned whole.
-func (c *Client) do(method, path string, body []byte, contentType, accept, idemKey string, retry func(error) bool) ([]byte, error) {
+// attempt; reqID likewise as X-Request-ID — the SAME id on every attempt,
+// by design. The response body (for 2xx) is returned whole.
+func (c *Client) do(method, path string, body []byte, contentType, accept, idemKey, reqID string, retry func(error) bool) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -249,10 +285,13 @@ func (c *Client) do(method, path string, body []byte, contentType, accept, idemK
 			if idemKey != "" {
 				c.replays.Add(1)
 			}
+			if reqID != "" && attempt == 1 {
+				c.noteRetriedID(reqID)
+			}
 			c.sleep(c.backoff(attempt - 1))
 		}
 		c.requests.Add(1)
-		resp, err := c.attempt(method, path, body, contentType, accept, idemKey)
+		resp, err := c.attempt(method, path, body, contentType, accept, idemKey, reqID)
 		if err == nil {
 			return resp, nil
 		}
@@ -263,7 +302,7 @@ func (c *Client) do(method, path string, body []byte, contentType, accept, idemK
 	}
 }
 
-func (c *Client) attempt(method, path string, body []byte, contentType, accept, idemKey string) ([]byte, error) {
+func (c *Client) attempt(method, path string, body []byte, contentType, accept, idemKey, reqID string) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -280,6 +319,9 @@ func (c *Client) attempt(method, path string, body []byte, contentType, accept, 
 	}
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -301,7 +343,7 @@ func (c *Client) attempt(method, path string, body []byte, contentType, accept, 
 	return data, nil
 }
 
-func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey string, retry func(error) bool) error {
+func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey, reqID string, retry func(error) bool) error {
 	var body []byte
 	if reqBody != nil {
 		b, err := json.Marshal(reqBody)
@@ -310,7 +352,7 @@ func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey s
 		}
 		body = b
 	}
-	data, err := c.do(method, path, body, "application/json", "", idemKey, retry)
+	data, err := c.do(method, path, body, "application/json", "", idemKey, reqID, retry)
 	if err != nil {
 		return err
 	}
@@ -331,7 +373,7 @@ func (c *Client) doJSON(method, path string, reqBody, out interface{}, idemKey s
 // risking a duplicate session.
 func (c *Client) CreateSession(req serve.CreateSessionRequest) (*serve.CreateSessionResponse, error) {
 	var out serve.CreateSessionResponse
-	if err := c.doJSON(http.MethodPost, "/v1/sessions", &req, &out, "", retrySafeResponse); err != nil {
+	if err := c.doJSON(http.MethodPost, "/v1/sessions", &req, &out, "", "", retrySafeResponse); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -351,8 +393,11 @@ func (c *Client) PostEvents(id string, evs []serve.EventRequest) ([]uint64, erro
 // per request — so every later batch skips the doomed attempt.
 func (c *Client) PostEventsKeyed(id, key string, evs []serve.EventRequest) ([]uint64, error) {
 	path := "/v1/sessions/" + id + "/events"
+	// One id per logical post: it survives every retry AND the one-way
+	// wire→JSON downgrade, so the whole saga is one thread server-side.
+	reqID := c.nextRequestID()
 	if c.binary.Load() {
-		preds, err := c.postEventsWire(path, key, evs)
+		preds, err := c.postEventsWire(path, key, reqID, evs)
 		var ae *APIError
 		if err == nil || !errors.As(err, &ae) || ae.Status != http.StatusUnsupportedMediaType {
 			return preds, err
@@ -363,7 +408,7 @@ func (c *Client) PostEventsKeyed(id, key string, evs []serve.EventRequest) ([]ui
 	}
 	c.jsonPosts.Add(1)
 	var out serve.EventsResponse
-	if err := c.doJSON(http.MethodPost, path, evs, &out, key, Retryable); err != nil {
+	if err := c.doJSON(http.MethodPost, path, evs, &out, key, reqID, Retryable); err != nil {
 		return nil, err
 	}
 	return out.Predictions, nil
@@ -372,10 +417,10 @@ func (c *Client) PostEventsKeyed(id, key string, evs []serve.EventRequest) ([]ui
 // postEventsWire posts the batch as a COHWIRE1 frame and decodes the
 // binary reply. Any error other than 415 is final (the caller's retry
 // policy already ran inside do); 415 is the downgrade signal.
-func (c *Client) postEventsWire(path, key string, evs []serve.EventRequest) ([]uint64, error) {
+func (c *Client) postEventsWire(path, key, reqID string, evs []serve.EventRequest) ([]uint64, error) {
 	c.binaryPosts.Add(1)
 	body := serve.AppendWireEvents(nil, evs)
-	data, err := c.do(http.MethodPost, path, body, serve.ContentTypeWire, serve.ContentTypeWire, key, Retryable)
+	data, err := c.do(http.MethodPost, path, body, serve.ContentTypeWire, serve.ContentTypeWire, key, reqID, Retryable)
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +441,7 @@ func (c *Client) postEventsWire(path, key string, evs []serve.EventRequest) ([]u
 // Stats fetches the session's screening statistics.
 func (c *Client) SessionStats(id string) (*serve.StatsResponse, error) {
 	var out serve.StatsResponse
-	if err := c.doJSON(http.MethodGet, "/v1/sessions/"+id+"/stats", nil, &out, "", Retryable); err != nil {
+	if err := c.doJSON(http.MethodGet, "/v1/sessions/"+id+"/stats", nil, &out, "", "", Retryable); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -404,7 +449,7 @@ func (c *Client) SessionStats(id string) (*serve.StatsResponse, error) {
 
 // Snapshot quiesces the session and returns its binary snapshot.
 func (c *Client) Snapshot(id string) ([]byte, error) {
-	return c.do(http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, "", "", "", Retryable)
+	return c.do(http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, "", "", "", "", Retryable)
 }
 
 // Restore creates session id from a binary snapshot; shards > 0 reshards
@@ -417,7 +462,7 @@ func (c *Client) Restore(id string, snap []byte, shards int) (*serve.CreateSessi
 	if shards > 0 {
 		path += "?shards=" + strconv.Itoa(shards)
 	}
-	data, err := c.do(http.MethodPut, path, snap, "application/octet-stream", "", "", retrySafeResponse)
+	data, err := c.do(http.MethodPut, path, snap, "application/octet-stream", "", "", "", retrySafeResponse)
 	if err != nil {
 		return nil, err
 	}
@@ -431,7 +476,7 @@ func (c *Client) Restore(id string, snap []byte, shards int) (*serve.CreateSessi
 // DeleteSession drains and removes the session (404 after a successful
 // delete retry is treated as success — the delete happened).
 func (c *Client) DeleteSession(id string) error {
-	err := c.doJSON(http.MethodDelete, "/v1/sessions/"+id, nil, nil, "", Retryable)
+	err := c.doJSON(http.MethodDelete, "/v1/sessions/"+id, nil, nil, "", "", Retryable)
 	var ae *APIError
 	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
 		return nil

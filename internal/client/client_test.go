@@ -257,3 +257,54 @@ func TestDeleteAfterDeleteIsSuccess(t *testing.T) {
 		t.Fatalf("delete of an absent session: %v, want nil", err)
 	}
 }
+
+// TestRetryReusesRequestID: every attempt of one logical post carries the
+// same X-Request-ID, the id is seeded and distinct from the idempotency
+// key, and a post that needed retries surfaces its id in Stats.
+func TestRetryReusesRequestID(t *testing.T) {
+	var ids, keys []string
+	var fails atomic.Int32
+	fails.Store(2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ids = append(ids, r.Header.Get("X-Request-ID"))
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		if fails.Add(-1) >= 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"events":1,"predictions":[6]}`))
+	}))
+	defer ts.Close()
+
+	c := New(Options{BaseURL: ts.URL, Seed: 7, Sleep: func(time.Duration) {}})
+	if _, err := c.PostEvents("s1", []serve.EventRequest{{PID: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(ids))
+	}
+	want := "0000000000000007-r1"
+	for _, id := range ids {
+		if id != want {
+			t.Fatalf("retry changed the request id: %q, want %q", id, want)
+		}
+	}
+	if ids[0] == keys[0] {
+		t.Fatalf("request id %q collides with the idempotency key", ids[0])
+	}
+	st := c.Stats()
+	if len(st.RetriedIDs) != 1 || st.RetriedIDs[0] != want {
+		t.Fatalf("RetriedIDs = %v, want [%s]", st.RetriedIDs, want)
+	}
+
+	// A clean second post mints a fresh id and is NOT recorded as retried.
+	if _, err := c.PostEvents("s1", []serve.EventRequest{{PID: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ids[len(ids)-1]; got != "0000000000000007-r2" {
+		t.Fatalf("second post id = %q, want 0000000000000007-r2", got)
+	}
+	if st := c.Stats(); len(st.RetriedIDs) != 1 {
+		t.Fatalf("clean post polluted RetriedIDs: %v", st.RetriedIDs)
+	}
+}

@@ -118,7 +118,7 @@ func DefaultConfig(root, modulePath string) *Config {
 		ModulePath: modulePath,
 		DeterministicPkgs: internal("bitmap", "trace", "cache", "machine", "eval",
 			"search", "metrics", "workload", "topology", "online", "cosmos",
-			"report", "experiments", "serve", "fault", "client"),
+			"report", "experiments", "serve", "fault", "client", "flight"),
 		DeterminismSkipFiles: []string{"bench.go"},
 		ClockAllowlist: map[string]bool{
 			// The sweep engine times tasks and worker busy-ns for the obs
@@ -127,9 +127,10 @@ func DefaultConfig(root, modulePath string) *Config {
 			modulePath + "/internal/search.runIndexTrace":           true,
 			// Suite.evaluate wraps every sweep in a wall-time SweepRecord.
 			modulePath + "/internal/experiments.evaluate": true,
-			// Shard workers time each micro-batch for the busy-ns counter;
-			// the reading feeds obs only, never predictions or stats.
-			modulePath + "/internal/serve.flushBatch": true,
+			// flight.Nanos is the serving layer's single clock: every stage
+			// stamp and busy-ns reading in serve derives from it, and the
+			// readings feed metrics and trace records only, never results.
+			modulePath + "/internal/flight.Nanos": true,
 		},
 		ObsPkg:          modulePath + "/internal/obs",
 		ObsHandleTypes:  []string{"Counter", "Gauge", "Histogram", "Registry"},
@@ -152,6 +153,10 @@ func DefaultConfig(root, modulePath string) *Config {
 			modulePath + "/internal/serve.AppendWireReply",
 			modulePath + "/internal/serve.DecodeWireBatchInto",
 			modulePath + "/internal/serve.DecodeWireReplyInto",
+			// The flight recorder's stamping kernels run inside the shard
+			// micro-batch loop: atomics only, zero allocation.
+			modulePath + "/internal/flight.Record.NoteBatch",
+			modulePath + "/internal/flight.Record.MarkFault",
 		},
 	}
 }

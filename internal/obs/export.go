@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -35,6 +36,42 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s.Buckets = append(s.Buckets, BucketCount{LE: "+Inf", Count: cum})
 	s.Count = cum
 	return s
+}
+
+// Quantile estimates the q-th quantile (clamped to [0, 1]) from the
+// cumulative buckets, interpolating linearly within the bucket that
+// contains the rank — the same estimate Prometheus's histogram_quantile
+// produces from the exported _bucket series. A rank that lands in the
+// +Inf bucket reports the last finite bound (a floor, not an
+// extrapolation). An empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	prev, prevCum := 0.0, int64(0)
+	for _, b := range s.Buckets {
+		if float64(b.Count) < rank {
+			if bound, err := strconv.ParseFloat(b.LE, 64); err == nil {
+				prev, prevCum = bound, b.Count
+			}
+			continue
+		}
+		bound, err := strconv.ParseFloat(b.LE, 64)
+		if err != nil || math.IsInf(bound, 0) {
+			return prev // +Inf: no upper bound to interpolate toward
+		}
+		if b.Count == prevCum {
+			return bound
+		}
+		return prev + (bound-prev)*(rank-float64(prevCum))/float64(b.Count-prevCum)
+	}
+	return prev
 }
 
 // Snapshot is a point-in-time JSON-ready view of a registry. Map keys

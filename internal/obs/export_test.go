@@ -2,8 +2,10 @@ package obs
 
 import (
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -43,6 +45,124 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("prometheus export differs from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusHistogramCumulative asserts the histogram exposition
+// contract structurally, independent of the golden bytes: every _bucket
+// sample is cumulative and non-decreasing, the final bucket is le="+Inf",
+// and its value equals the _count sample, with a _sum sample present.
+// This is the shape Prometheus's histogram_quantile requires; a regression
+// to per-bucket (non-cumulative) counts would pass a naively regenerated
+// golden file but fails here.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("serve_request_seconds_events_wire", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.0005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		buckets []int64
+		les     []string
+		count   int64 = -1
+		sumSeen bool
+	)
+	for _, line := range strings.Split(b.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name, val := fields[0], fields[1]
+		switch {
+		case strings.HasPrefix(name, "serve_request_seconds_events_wire_bucket{le="):
+			le := strings.TrimSuffix(strings.TrimPrefix(name, `serve_request_seconds_events_wire_bucket{le="`), `"}`)
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket sample %q: %v", line, err)
+			}
+			les = append(les, le)
+			buckets = append(buckets, n)
+		case name == "serve_request_seconds_events_wire_count":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("count sample %q: %v", line, err)
+			}
+			count = n
+		case name == "serve_request_seconds_events_wire_sum":
+			sumSeen = true
+		}
+	}
+
+	wantBuckets := []int64{2, 3, 4, 5, 6} // cumulative over the 6 observations
+	if len(buckets) != len(wantBuckets) {
+		t.Fatalf("exported %d buckets (%v), want %d", len(buckets), les, len(wantBuckets))
+	}
+	for i, n := range buckets {
+		if n != wantBuckets[i] {
+			t.Fatalf("bucket counts = %v, want cumulative %v", buckets, wantBuckets)
+		}
+		if i > 0 && n < buckets[i-1] {
+			t.Fatalf("bucket counts not monotone: %v", buckets)
+		}
+	}
+	if les[len(les)-1] != "+Inf" {
+		t.Fatalf("final bucket le = %q, want +Inf", les[len(les)-1])
+	}
+	if count != buckets[len(buckets)-1] {
+		t.Fatalf("_count = %d, want the +Inf bucket value %d", count, buckets[len(buckets)-1])
+	}
+	if !sumSeen {
+		t.Fatal("no _sum sample exported")
+	}
+}
+
+// TestHistogramQuantile pins the interpolation against hand-computed
+// ranks, including the +Inf floor and the empty-histogram zero.
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q", []float64{1, 2, 4})
+	// 10 observations: 5 in (0,1], 3 in (1,2], 2 in (2,4].
+	for i := 0; i < 5; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(3)
+	}
+	s := r.Snapshot().Histograms["q"]
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 1},    // rank 5 sits exactly on the first bound
+		{0.8, 2},    // rank 8 exhausts the second bucket
+		{0.9, 3},    // rank 9: halfway through (2,4]
+		{1.0, 4},    // rank 10: top of the last finite bucket
+		{-1, 0},     // clamped to q=0: rank 0 interpolates to the bucket floor
+		{2, 4},      // clamped to q=1
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// Everything beyond the finite buckets: the +Inf bucket floors at the
+	// last finite bound.
+	r2 := New()
+	h2 := r2.Histogram("inf", []float64{1})
+	h2.Observe(100)
+	if got := r2.Snapshot().Histograms["inf"].Quantile(0.99); got != 1 {
+		t.Errorf("+Inf-bucket quantile = %v, want the last finite bound 1", got)
+	}
+
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
 	}
 }
 

@@ -1,8 +1,11 @@
 package serve_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,6 +13,7 @@ import (
 	"cohpredict/internal/core"
 	"cohpredict/internal/eval"
 	"cohpredict/internal/fault"
+	"cohpredict/internal/flight"
 	"cohpredict/internal/serve"
 	"cohpredict/internal/trace"
 )
@@ -30,11 +34,37 @@ func chaosConfig(seed int64, killAfter int) fault.Config {
 }
 
 // chaosOutcome is everything one chaos run produced that a replay of the
-// same seed must reproduce.
+// same seed must reproduce, plus the flight recorder's slow-log entries
+// (both server lives merged) for the explainability assertions.
 type chaosOutcome struct {
 	preds  []uint64
 	stats  serve.StatsResponse
 	faults fault.Stats
+	slow   []flight.Entry
+	client resclient.Stats
+}
+
+// chaosFlight builds the recorder a chaos server runs under: sampling
+// effectively off and the slow threshold unreachable, so the slow-log
+// holds exactly the requests an injected fault or error touched — a 1:1
+// ledger against the injector's own tallies.
+func chaosFlight() *flight.Recorder {
+	return flight.New(flight.Options{Sample: 1 << 30, SlowThreshold: time.Hour, Slow: 8192})
+}
+
+// fetchSlow drains a live server's slow-log.
+func fetchSlow(t *testing.T, base string) []flight.Entry {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/debug/slow")
+	if err != nil {
+		t.Fatalf("fetching slow-log: %v", err)
+	}
+	defer resp.Body.Close()
+	var cap flight.Capture
+	if err := json.NewDecoder(resp.Body).Decode(&cap); err != nil {
+		t.Fatalf("decoding slow-log: %v", err)
+	}
+	return cap.Requests
 }
 
 // runChaos replays tr through a chaos-injected server with a resilient
@@ -53,7 +83,7 @@ func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreSh
 	}
 	inj := fault.New(chaosConfig(seed, batches/2), nil)
 
-	srv := serve.NewServer(serve.Options{Fault: inj})
+	srv := serve.NewServer(serve.Options{Fault: inj, Flight: chaosFlight()})
 	ts := httptest.NewServer(srv.Handler())
 	cl := resclient.New(resclient.Options{
 		BaseURL:    ts.URL,
@@ -73,6 +103,7 @@ func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreSh
 
 	wire := wireEvents(tr.Events)
 	preds := make([]uint64, 0, len(tr.Events))
+	var slow []flight.Entry
 	killed := false
 	for lo := 0; lo < len(wire); lo += chunk {
 		hi := lo + chunk
@@ -86,10 +117,11 @@ func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreSh
 			if err != nil {
 				t.Fatalf("snapshot before kill: %v", err)
 			}
+			slow = append(slow, fetchSlow(t, ts.URL)...)
 			ts.Close()
 			_ = srv.Shutdown() // test hygiene only: reap the abandoned workers
 
-			srv = serve.NewServer(serve.Options{Fault: inj})
+			srv = serve.NewServer(serve.Options{Fault: inj, Flight: chaosFlight()})
 			ts = httptest.NewServer(srv.Handler())
 			cl = resclient.New(resclient.Options{
 				BaseURL:    ts.URL,
@@ -126,11 +158,12 @@ func runChaos(t *testing.T, tr *trace.Trace, schemeStr string, shards, restoreSh
 	} else if cs.BinaryPosts != 0 {
 		t.Fatalf("JSON chaos client issued %d binary posts", cs.BinaryPosts)
 	}
+	slow = append(slow, fetchSlow(t, ts.URL)...)
 	ts.Close()
 	if err := srv.Shutdown(); err != nil {
 		t.Fatalf("final shutdown: %v", err)
 	}
-	return chaosOutcome{preds: preds, stats: *st, faults: inj.Stats()}
+	return chaosOutcome{preds: preds, stats: *st, faults: inj.Stats(), slow: slow, client: cl.Stats()}
 }
 
 // TestChaosEquivalence is the headline proof: under injected drops,
@@ -198,6 +231,78 @@ func TestChaosEquivalence(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestChaosFaultsExplainable: every injected fault is visible in the
+// flight recorder's slow-log with a matching request ID — chaos runs are
+// explainable, not just survivable. The injector's own tallies are the
+// ground truth: each drop, 500, and reset it reports must appear as
+// exactly one slow-log entry tagged with that fault class, every entry
+// must carry a client-minted request id from one of the run's two id
+// spaces, and the ids the client reports as retried must all resolve to
+// slow-log entries.
+func TestChaosFaultsExplainable(t *testing.T) {
+	tr := genTrace(t, "em3d", 3)
+	const seed = 77
+	out := runChaos(t, tr, "union(dir+add8)2[forwarded]", 2, 8, seed, true)
+	f := out.faults
+	if f.Drops == 0 || f.Errors == 0 || f.Resets == 0 || f.Delays == 0 {
+		t.Fatalf("fault mix too tame to prove anything: %+v", f)
+	}
+
+	byFault := map[string]int{}
+	ids := map[string]bool{}
+	// The two server lives saw ids minted under seed (before the kill)
+	// and seed+1 (after).
+	prefixes := []string{
+		fmt.Sprintf("%016x-r", uint64(seed)),
+		fmt.Sprintf("%016x-r", uint64(seed+1)),
+	}
+	for _, e := range out.slow {
+		if len(e.Faults) == 0 && e.Status < 400 {
+			t.Fatalf("healthy request leaked into the slow-log: %+v", e)
+		}
+		if e.ID == "" {
+			t.Fatalf("slow-log entry without a request id: %+v", e)
+		}
+		if !strings.HasPrefix(e.ID, prefixes[0]) && !strings.HasPrefix(e.ID, prefixes[1]) {
+			t.Fatalf("slow-log id %q matches neither run prefix %q/%q", e.ID, prefixes[0], prefixes[1])
+		}
+		ids[e.ID] = true
+		for _, name := range e.Faults {
+			byFault[name]++
+		}
+	}
+
+	// One slow-log entry per injected decision fault: the injector draws
+	// at most once per fault class per request, so tallies and tagged
+	// entries must agree exactly.
+	if int64(byFault["drop"]) != f.Drops {
+		t.Fatalf("slow-log shows %d drops, injector reports %d", byFault["drop"], f.Drops)
+	}
+	if int64(byFault["error"]) != f.Errors {
+		t.Fatalf("slow-log shows %d injected 500s, injector reports %d", byFault["error"], f.Errors)
+	}
+	if int64(byFault["reset"]) != f.Resets {
+		t.Fatalf("slow-log shows %d resets, injector reports %d", byFault["reset"], f.Resets)
+	}
+	// Delays are per-micro-batch draws: several draws (one per shard the
+	// request fanned out to) can tag the same record, so tagged entries
+	// are bounded by the draw count but must be present.
+	if tagged := byFault["delay"]; tagged < 1 || int64(tagged) > f.Delays {
+		t.Fatalf("slow-log shows %d delayed requests for %d delay draws", tagged, f.Delays)
+	}
+
+	// Client-side correlation: every id the (post-kill) client reports as
+	// retried names a slow-log entry — the retry's cause is explainable.
+	if len(out.client.RetriedIDs) == 0 {
+		t.Fatal("chaos client retried nothing; the run proved nothing")
+	}
+	for _, id := range out.client.RetriedIDs {
+		if !ids[id] {
+			t.Fatalf("client retried %s but the slow-log has no such request", id)
 		}
 	}
 }

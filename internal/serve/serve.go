@@ -43,6 +43,7 @@ import (
 
 	"cohpredict/internal/eval"
 	"cohpredict/internal/fault"
+	"cohpredict/internal/flight"
 	"cohpredict/internal/obs"
 )
 
@@ -66,6 +67,10 @@ type Options struct {
 	// (create, snapshot, delete) are never injected — only the
 	// idempotent event posts, which clients can retry safely.
 	Fault *fault.Injector
+	// Flight is the request flight recorder for the events route; nil
+	// builds a default one (sample 1/64, 25ms slow threshold) against
+	// Registry. Captures are served at /v1/debug/{requests,slow}.
+	Flight *flight.Recorder
 }
 
 // Server is the prediction service: a registry of live sessions plus the
@@ -94,6 +99,9 @@ func NewServer(opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 8 << 20
 	}
+	if opts.Flight == nil {
+		opts.Flight = flight.New(flight.Options{Registry: opts.Registry})
+	}
 	return &Server{
 		opts:     opts,
 		om:       newServeMetrics(opts.Registry),
@@ -106,8 +114,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleCreateSession))
 	mux.HandleFunc("GET /v1/sessions", s.wrap(s.handleListSessions))
-	mux.HandleFunc("POST /v1/sessions/{id}/events", s.faulty(s.wrap(s.handleEvents)))
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEventsTraced)
 	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("GET /v1/debug/requests", s.wrap(s.handleDebugRequests))
+	mux.HandleFunc("GET /v1/debug/slow", s.wrap(s.handleDebugSlow))
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.wrap(s.handleSnapshotGet))
 	mux.HandleFunc("PUT /v1/sessions/{id}/snapshot", s.wrap(s.handleSnapshotPut))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleDeleteSession))
@@ -142,58 +152,97 @@ func (s *Server) wrap(h func(http.ResponseWriter, *http.Request) error) http.Han
 		if err == nil {
 			return
 		}
-		status := http.StatusInternalServerError
-		var ae *apiError
-		switch {
-		case errors.As(err, &ae):
-			status = ae.status
-		case errors.Is(err, ErrBacklog):
-			status = http.StatusTooManyRequests
-			s.om.backpressure.Inc()
-		case errors.Is(err, ErrDraining), errors.Is(err, ErrSnapshotting), errors.Is(err, ErrInjected):
-			status = http.StatusServiceUnavailable
-		}
-		code := ""
-		if errors.Is(err, ErrShardFailed) {
-			code = CodeShardFailed
-		}
+		status, code := s.errorStatus(err)
 		s.om.errorsTotal.Inc()
 		s.opts.Log.Debugf("serve: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
 		writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 	}
 }
 
-// faulty is the HTTP-layer chaos middleware, applied to the events route
-// only. Before the handler it may fail the request with an injected 500
-// (nothing processed — a retry is always safe); after the handler it may
-// tear the connection down without a response, modelling the
-// lost-response case where the batch WAS processed and only the
-// idempotency key makes the client's retry safe. The response is buffered
-// so the reset discards it whole rather than truncating it.
-func (s *Server) faulty(h http.HandlerFunc) http.HandlerFunc {
-	flt := s.opts.Fault
-	if !flt.Enabled() {
-		return h
+// errorStatus maps a handler error to its HTTP status and error code,
+// counting backpressure rejections as a side effect.
+func (s *Server) errorStatus(err error) (int, string) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		status = ae.status
+	case errors.Is(err, ErrBacklog):
+		status = http.StatusTooManyRequests
+		s.om.backpressure.Inc()
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrSnapshotting), errors.Is(err, ErrInjected):
+		status = http.StatusServiceUnavailable
 	}
-	return func(w http.ResponseWriter, r *http.Request) {
-		if flt.ServerError("http.error") {
-			// wrap() never runs for an injected failure, so the request
-			// must be counted here too — otherwise the error rate derived
-			// from the two counters exceeds 100% under chaos.
-			s.om.requestsTotal.Inc()
-			s.om.errorsTotal.Inc()
-			writeJSON(w, http.StatusInternalServerError,
-				ErrorResponse{Error: "serve: injected fault: internal error"})
-			return
+	code := ""
+	if errors.Is(err, ErrShardFailed) {
+		code = CodeShardFailed
+	}
+	return status, code
+}
+
+// handleEventsTraced is the events route's full pipeline: flight-recorder
+// tracing around the handler, plus the HTTP-layer chaos points. It
+// subsumes what wrap() does for the other routes (request/error counting,
+// error→status mapping) because the trace record must observe the final
+// status and every injected fault.
+//
+// Chaos placement mirrors the old middleware exactly: an injected 500
+// fires before the handler (nothing processed — a retry is always safe);
+// an injected reset tears the connection down after the handler, so the
+// batch WAS processed and only the idempotency key makes the client's
+// retry safe. Under chaos the response is buffered so a reset discards it
+// whole rather than truncating it; without chaos the handler writes
+// straight through (the buffered copy would cost the wire path its
+// zero-allocation property).
+func (s *Server) handleEventsTraced(w http.ResponseWriter, r *http.Request) {
+	s.om.requestsTotal.Inc()
+	transport := flight.TransportJSON
+	if mediaType(r.Header.Get("Content-Type")) == ContentTypeWire {
+		transport = flight.TransportWire
+	}
+	rec := s.opts.Flight.Begin(flight.RouteEvents, transport)
+	rec.SetID(r.Header.Get("X-Request-ID"))
+	if id := rec.ID(); id != "" {
+		w.Header().Set("X-Request-ID", id)
+	}
+
+	flt := s.opts.Fault
+	if flt.ServerError("http.error") {
+		rec.MarkFault(flight.FaultError)
+		s.om.errorsTotal.Inc()
+		writeJSON(w, http.StatusInternalServerError,
+			ErrorResponse{Error: "serve: injected fault: internal error"})
+		s.opts.Flight.Finish(rec, http.StatusInternalServerError)
+		return
+	}
+
+	out := http.ResponseWriter(w)
+	var buf *bufferedResponse
+	if flt.Enabled() {
+		buf = &bufferedResponse{status: http.StatusOK}
+		out = buf
+	}
+	status := http.StatusOK
+	if err := s.serveEvents(out, r, rec); err != nil {
+		var code string
+		status, code = s.errorStatus(err)
+		if errors.Is(err, ErrInjected) {
+			rec.MarkFault(flight.FaultDrop)
 		}
-		buf := &bufferedResponse{status: http.StatusOK}
-		h(buf, r)
-		if flt.Reset("http.reset") {
-			//predlint:ignore panicfree http.ErrAbortHandler is net/http's sanctioned abort
-			panic(http.ErrAbortHandler)
-		}
+		s.om.errorsTotal.Inc()
+		s.opts.Log.Debugf("serve: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+		writeJSON(out, status, ErrorResponse{Error: err.Error(), Code: code})
+	}
+	if buf != nil && flt.Reset("http.reset") {
+		rec.MarkFault(flight.FaultReset)
+		s.opts.Flight.Finish(rec, status)
+		//predlint:ignore panicfree http.ErrAbortHandler is net/http's sanctioned abort
+		panic(http.ErrAbortHandler)
+	}
+	if buf != nil {
 		buf.flushTo(w)
 	}
+	s.opts.Flight.Finish(rec, status)
 }
 
 // bufferedResponse holds a handler's full response so the chaos reset can
@@ -335,19 +384,23 @@ func (s *Server) session(r *http.Request) (*Session, error) {
 	return sess, nil
 }
 
-// handleEvents negotiates the events route's two encodings: a COHWIRE1
+// serveEvents negotiates the events route's two encodings: a COHWIRE1
 // Content-Type takes the allocation-free binary path, JSON (or no type)
 // the debugging/compat path, and anything else is refused with 415 — the
 // signal the resilient client downgrades on in a mixed-version cluster.
-// Either request form may ask for a binary reply via Accept.
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) error {
+// Either request form may ask for a binary reply via Accept. Along the
+// way it stamps the flight record: byte sizes, event count, and the
+// decode/encode stage times (queue/batch/exec stamping happens below, in
+// the session and the shard workers).
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, rec *flight.Record) error {
 	sess, err := s.session(r)
 	if err != nil {
 		return err
 	}
+	rec.SetSession(sess.ID)
 	switch ct := mediaType(r.Header.Get("Content-Type")); ct {
 	case ContentTypeWire:
-		return s.handleEventsWire(w, r, sess)
+		return s.handleEventsWire(w, r, sess, rec)
 	case "", "application/json", "application/x-www-form-urlencoded":
 		// form-urlencoded is curl's -d default; the body is still JSON.
 	default:
@@ -358,23 +411,56 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	rec.SetBytesIn(len(body))
+	t0 := flight.Nanos()
 	evs, err := DecodeEvents(body, sess.cfg.Machine.Nodes)
+	rec.AddDecode(flight.Nanos() - t0)
 	if err != nil {
 		return httpErr(http.StatusBadRequest, err)
 	}
-	preds, err := sess.PostKeyed(r.Header.Get("Idempotency-Key"), evs)
+	rec.SetEvents(len(evs))
+	preds, err := sess.PostKeyedStamped(r.Header.Get("Idempotency-Key"), evs, rec)
 	if err != nil {
 		return err
 	}
 	if wantsWire(r) {
-		writeWire(w, AppendWireReply(nil, preds))
+		t1 := flight.Nanos()
+		frame := AppendWireReply(nil, preds)
+		rec.AddEncode(flight.Nanos() - t1)
+		rec.SetBytesOut(len(frame))
+		writeWire(w, frame)
 		return nil
 	}
 	resp := EventsResponse{Events: len(preds), Predictions: make([]uint64, len(preds))}
 	for i, p := range preds {
 		resp.Predictions[i] = uint64(p)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	t1 := flight.Nanos()
+	data, err := json.Marshal(resp)
+	rec.AddEncode(flight.Nanos() - t1)
+	if err != nil {
+		return err
+	}
+	rec.SetBytesOut(len(data))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+	return nil
+}
+
+// handleDebugRequests serves a destructive capture of the flight
+// recorder's sampled-request ring: entries ordered by finish sequence,
+// drained as they are read.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, http.StatusOK, s.opts.Flight.Capture(flight.KindRequests))
+	return nil
+}
+
+// handleDebugSlow serves (and drains) the slow-log: requests that erred,
+// carried an injected fault, or crossed the slow threshold.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, http.StatusOK, s.opts.Flight.Capture(flight.KindSlow))
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"cohpredict/internal/core"
 	"cohpredict/internal/eval"
 	"cohpredict/internal/fault"
+	"cohpredict/internal/flight"
 	"cohpredict/internal/metrics"
 	"cohpredict/internal/trace"
 )
@@ -227,8 +228,12 @@ func (s *Session) release(n int) {
 // every event has been processed and scored, so a successful return means
 // the batch is fully reflected in Stats.
 func (s *Session) Post(evs []trace.Event) ([]bitmap.Bitmap, error) {
+	return s.postStamped(evs, nil)
+}
+
+func (s *Session) postStamped(evs []trace.Event, st *flight.Record) ([]bitmap.Bitmap, error) {
 	preds := make([]bitmap.Bitmap, len(evs))
-	if err := s.PostInto(evs, preds); err != nil {
+	if err := s.PostIntoStamped(evs, preds, st); err != nil {
 		return nil, err
 	}
 	return preds, nil
@@ -240,6 +245,14 @@ func (s *Session) Post(evs []trace.Event) ([]bitmap.Bitmap, error) {
 // response buffer the shard workers store into, and they are safe to
 // read (or recycle) once PostInto has returned.
 func (s *Session) PostInto(evs []trace.Event, preds []bitmap.Bitmap) error {
+	return s.PostIntoStamped(evs, preds, nil)
+}
+
+// PostIntoStamped is PostInto carrying a flight record: the enqueue
+// instant is stamped after admission, and the record rides each op into
+// the shard workers so the micro-batch loop can account queue-wait,
+// batch-wait, and execute time to this request. st may be nil (untraced).
+func (s *Session) PostIntoStamped(evs []trace.Event, preds []bitmap.Bitmap, st *flight.Record) error {
 	if len(evs) > MaxBatchEvents {
 		return fmt.Errorf("serve: batch of %d events exceeds limit %d", len(evs), MaxBatchEvents)
 	}
@@ -256,12 +269,13 @@ func (s *Session) PostInto(evs []trace.Event, preds []bitmap.Bitmap) error {
 	s.om.queueDepth.Add(float64(len(evs)))
 	defer s.om.queueDepth.Add(-float64(len(evs)))
 
+	st.SetEnqueue(flight.Nanos())
 	var wg sync.WaitGroup
 	wg.Add(len(evs))
 	for i := range evs {
 		ev := &evs[i]
 		sh := s.shards[s.router.RouteEvent(ev)]
-		sh.in <- op{ev: ev, out: &preds[i], wg: &wg}
+		sh.in <- op{ev: ev, out: &preds[i], wg: &wg, st: st}
 	}
 	wg.Wait()
 	return s.shardErr()
@@ -273,8 +287,15 @@ func (s *Session) PostInto(evs []trace.Event, preds []bitmap.Bitmap) error {
 // twice. A retryably-failed attempt releases the key so the retry can run.
 // An empty key degrades to plain Post.
 func (s *Session) PostKeyed(key string, evs []trace.Event) ([]bitmap.Bitmap, error) {
+	return s.PostKeyedStamped(key, evs, nil)
+}
+
+// PostKeyedStamped is PostKeyed carrying a flight record (nil = untraced):
+// a replay served from the idempotency cache marks the record instead of
+// stamping shard stages — no engine work happened.
+func (s *Session) PostKeyedStamped(key string, evs []trace.Event, st *flight.Record) ([]bitmap.Bitmap, error) {
 	if key == "" {
-		return s.Post(evs)
+		return s.postStamped(evs, st)
 	}
 	if len(key) > maxIdemKeyLen {
 		return nil, fmt.Errorf("serve: idempotency key of %d bytes exceeds limit %d", len(key), maxIdemKeyLen)
@@ -288,6 +309,7 @@ func (s *Session) PostKeyed(key string, evs []trace.Event) ([]bitmap.Bitmap, err
 			return nil, e.err
 		}
 		s.om.idemHits.Inc()
+		st.MarkReplay()
 		return e.preds, nil
 	}
 	e := &idemEntry{done: make(chan struct{})}
@@ -309,7 +331,7 @@ func (s *Session) PostKeyed(key string, evs []trace.Event) ([]bitmap.Bitmap, err
 	}
 	s.idemMu.Unlock()
 
-	preds, err := s.Post(evs)
+	preds, err := s.postStamped(evs, st)
 	if err != nil {
 		if errors.Is(err, ErrShardFailed) {
 			// Permanent: every retry fails identically, but its Post would

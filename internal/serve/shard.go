@@ -10,6 +10,7 @@ import (
 	"cohpredict/internal/core"
 	"cohpredict/internal/eval"
 	"cohpredict/internal/fault"
+	"cohpredict/internal/flight"
 	"cohpredict/internal/metrics"
 	"cohpredict/internal/trace"
 )
@@ -17,11 +18,14 @@ import (
 // op is one event in flight through a shard: a pointer into the request's
 // decoded event slice, the response slot the prediction lands in, and the
 // request's completion group. wg.Done both signals completion and provides
-// the happens-before edge for the handler to read the response slot.
+// the happens-before edge for the handler to read the response slot. st,
+// when non-nil, is the request's flight record; the worker stamps batch
+// timings into it through its atomic kernels only.
 type op struct {
 	ev  *trace.Event
 	out *bitmap.Bitmap
 	wg  *sync.WaitGroup
+	st  *flight.Record
 }
 
 // shard owns one partition of a session's predictor table and processes
@@ -58,6 +62,12 @@ type shard struct {
 	flt                  *fault.Injector
 	delaySite, panicSite string
 
+	// batchSeq numbers this worker's micro-batches; OR-ed with batchBase
+	// (shard id in the high bits) it yields the session-unique batch id
+	// the flight records dedup on. Worker-local, no atomics needed.
+	batchSeq  uint64
+	batchBase uint64
+
 	om *serveMetrics
 }
 
@@ -75,6 +85,7 @@ func newShard(id int, s core.Scheme, m core.Machine, batch int, flush time.Durat
 		flt:       flt,
 		delaySite: fmt.Sprintf("shard%d.delay", id),
 		panicSite: fmt.Sprintf("shard%d.panic", id),
+		batchBase: uint64(id+1) << 40,
 		om:        om,
 	}
 }
@@ -119,10 +130,11 @@ func (s *shard) loop() (panicked bool) {
 		if !ok {
 			return false
 		}
+		fillStart := flight.Nanos()
 		buf = append(buf[:0], o)
 		ok = s.fill(&buf)
 		s.cur = buf
-		s.flushBatch(buf)
+		s.flushBatch(fillStart, buf)
 		s.cur = nil
 		if !ok {
 			return false
@@ -174,13 +186,18 @@ func (s *shard) fill(buf *[]op) bool {
 }
 
 // flushBatch processes one micro-batch, publishes the shard's tallies and
-// metrics, and only then releases the waiting handlers. The wall-clock
-// reads feed the obs busy-ns counter only, never results. The two fault
-// hooks run before processing: an injected delay models a slow shard (it
-// cannot change results — ops are already ordered), and an injected panic
-// exercises the failure path above.
-func (s *shard) flushBatch(buf []op) {
+// metrics, stamps the batch into every distinct flight record aboard, and
+// only then releases the waiting handlers. The wall-clock reads (via
+// flight.Nanos, the allowlisted clock) feed the obs busy-ns counter and
+// the trace records only, never results. The two fault hooks run before
+// processing: an injected delay models a slow shard (it cannot change
+// results — ops are already ordered), and an injected panic exercises the
+// failure path above. fillStart is when the batch's first op arrived; the
+// interval to processing start is the batch's coalescing wait.
+func (s *shard) flushBatch(fillStart int64, buf []op) {
+	delayed := false
 	if d := s.flt.Delay(s.delaySite); d > 0 {
+		delayed = true
 		time.Sleep(d)
 	}
 	if s.flt.PanicNow(s.panicSite) {
@@ -188,9 +205,9 @@ func (s *shard) flushBatch(buf []op) {
 		panic(fmt.Sprintf("injected fault (site %s)", s.panicSite))
 	}
 
-	start := time.Now()
+	start := flight.Nanos()
 	s.process(buf)
-	busy := time.Since(start).Nanoseconds()
+	busy := flight.Nanos() - start
 
 	s.pubTP.Store(s.conf.TP)
 	s.pubFP.Store(s.conf.FP)
@@ -204,6 +221,24 @@ func (s *shard) flushBatch(buf []op) {
 	s.om.batchesTotal.Inc()
 	s.om.batchSize.Observe(float64(len(buf)))
 	s.om.shardBusyNS.Add(busy)
+
+	// Stamp each distinct record once per batch. Ops from one request
+	// arrive in posting order, so the prev check skips most duplicates
+	// cheaply; NoteBatch's own batch-id dedup catches interleavings.
+	s.batchSeq++
+	batchID := s.batchBase | s.batchSeq
+	wait := start - fillStart
+	var prev *flight.Record
+	for i := range buf {
+		st := buf[i].st
+		if st != nil && st != prev {
+			st.NoteBatch(batchID, start, wait, busy)
+			if delayed {
+				st.MarkFault(flight.FaultDelay)
+			}
+		}
+		prev = st
+	}
 
 	for i := range buf {
 		buf[i].wg.Done()

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"cohpredict/internal/flight"
+	"cohpredict/internal/obs"
 	"cohpredict/internal/serve"
 )
 
@@ -103,9 +105,13 @@ func TestThroughputFloorWire(t *testing.T) {
 }
 
 // benchServeHTTP measures the end-to-end events/sec of one transport
-// through the full HTTP path.
+// through the full HTTP path, plus the p50/p99 request latency read back
+// from the flight recorder's RED histograms — the bench runs with the
+// recorder at its default sampling, so the quantiles price the tracing
+// overhead the ledger ratchets.
 func benchServeHTTP(b *testing.B, contentType string, shards int, encode func([]serve.EventRequest) []byte) {
-	srv := serve.NewServer(serve.Options{})
+	reg := obs.New()
+	srv := serve.NewServer(serve.Options{Registry: reg})
 	defer srv.Shutdown()
 	c, closeTS := newClient(b, srv)
 	defer closeTS()
@@ -128,6 +134,13 @@ func benchServeHTTP(b *testing.B, contentType string, shards int, encode func([]
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "events/sec")
+	transport := flight.TransportJSON
+	if contentType == serve.ContentTypeWire {
+		transport = flight.TransportWire
+	}
+	h := reg.Snapshot().Histograms["serve_request_seconds_"+flight.RouteEvents+"_"+transport]
+	b.ReportMetric(h.Quantile(0.50)*1000, "p50-ms")
+	b.ReportMetric(h.Quantile(0.99)*1000, "p99-ms")
 }
 
 // BenchmarkServeJSON/http and BenchmarkServeWire/http are the ledger's

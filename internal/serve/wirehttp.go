@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"cohpredict/internal/bitmap"
+	"cohpredict/internal/flight"
 	"cohpredict/internal/trace"
 )
 
@@ -83,7 +84,7 @@ func writeWire(w http.ResponseWriter, frame []byte) {
 // ops point at, the reply encoded in place. Keyed posts allocate their
 // prediction slice because the idempotency cache retains it for replays —
 // a pooled slice would be recycled under the cache's feet.
-func (s *Server) handleEventsWire(w http.ResponseWriter, r *http.Request, sess *Session) error {
+func (s *Server) handleEventsWire(w http.ResponseWriter, r *http.Request, sess *Session, rec *flight.Record) error {
 	buf := wireBufs.Get().(*wireBuf)
 	defer wireBufs.Put(buf)
 
@@ -92,7 +93,10 @@ func (s *Server) handleEventsWire(w http.ResponseWriter, r *http.Request, sess *
 	if err != nil {
 		return err
 	}
+	rec.SetBytesIn(len(body))
+	t0 := flight.Nanos()
 	evs, err := DecodeWireBatchInto(body, sess.cfg.Machine.Nodes, buf.evs[:0])
+	rec.AddDecode(flight.Nanos() - t0)
 	if evs != nil {
 		buf.evs = evs[:0]
 	}
@@ -100,22 +104,26 @@ func (s *Server) handleEventsWire(w http.ResponseWriter, r *http.Request, sess *
 		return httpErr(http.StatusBadRequest, fmt.Errorf("serve: decoding wire batch: %w", err))
 	}
 	s.om.wireRequests.Inc()
+	rec.SetEvents(len(evs))
 
 	var preds []bitmap.Bitmap
 	if key := r.Header.Get("Idempotency-Key"); key != "" {
-		preds, err = sess.PostKeyed(key, evs)
+		preds, err = sess.PostKeyedStamped(key, evs, rec)
 	} else {
 		if cap(buf.preds) < len(evs) {
 			buf.preds = make([]bitmap.Bitmap, len(evs))
 		}
 		preds = buf.preds[:len(evs)]
-		err = sess.PostInto(evs, preds)
+		err = sess.PostIntoStamped(evs, preds, rec)
 	}
 	if err != nil {
 		return err
 	}
 
+	t1 := flight.Nanos()
 	out := AppendWireReply(buf.out[:0], preds)
+	rec.AddEncode(flight.Nanos() - t1)
+	rec.SetBytesOut(len(out))
 	buf.out = out[:0]
 	writeWire(w, out)
 	return nil
