@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint test race bench build obs-demo serve-demo chaos-demo trace-demo fuzz-smoke cover bench-ledger throughput-smoke
+.PHONY: check vet lint lint-self lint-timed test race race-hammer bench build obs-demo serve-demo chaos-demo trace-demo fuzz-smoke cover bench-ledger throughput-smoke
 
 check: vet lint race
 
@@ -16,16 +16,40 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: determinism, hot-path discipline, obs
-# nil-safety, panic-free libraries, exhaustive enum switches. Exits
-# non-zero on any unsuppressed finding.
+# nil-safety, panic-free libraries, exhaustive enum switches, and the
+# concurrency contracts (guardedby, atomiconly, goroutineown, staleignore).
+# Exits non-zero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/predlint
+
+# The analyzer analyzing itself: the full check set over the module, with
+# findings filtered to internal/lint. predlint must hold its own source to
+# the contracts it enforces (TestSelfClean is the test-suite twin).
+lint-self:
+	$(GO) run ./cmd/predlint -only internal/lint
+
+# Latency guard for the full lint pass: build the binary, then the
+# analysis itself (load + typecheck + all nine checks over the module)
+# must finish within 30 seconds or the target fails. Keeps the pre-commit
+# gate cheap enough that nobody is tempted to skip it.
+lint-timed:
+	$(GO) build -o /tmp/predlint-timed ./cmd/predlint
+	timeout 30 /tmp/predlint-timed -root .
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# The chaos-equivalence hammer under the race detector: injected drops,
+# delays, 500s, resets, and a mid-stream kill+restore, with every shared
+# structure the new guardedby/atomiconly annotations claim to protect
+# exercised concurrently. Static checking proves lock discipline on every
+# path; this proves the locks are the *right* locks at runtime. -short
+# trims the scheme matrix to keep the CI step tight.
+race-hammer:
+	$(GO) test -race -short -count=1 ./internal/serve -run 'TestChaos'
 
 # Benchmark the sweep engine only (serial baseline + parallel family).
 bench:
@@ -88,8 +112,10 @@ throughput-smoke:
 # below measured coverage, so a change that lands a chunk of untested code
 # in the serving/eval/fault/client layers fails the build.
 cover:
-	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client ./internal/flight ./cmd/predtrace
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client ./internal/flight ./internal/lint ./cmd/predtrace
 	$(GO) run ./cmd/covergate -profile cover.out \
 		internal/serve=85 internal/eval=88 internal/fault=95 internal/client=72 \
-		internal/flight=85 cmd/predtrace=80 \
-		internal/serve/wire.go=85
+		internal/flight=85 internal/lint=85 cmd/predtrace=80 \
+		internal/serve/wire.go=85 \
+		internal/lint/check_guardedby.go=85 internal/lint/check_atomiconly.go=85 \
+		internal/lint/check_goroutineown.go=90 internal/lint/check_staleignore.go=90

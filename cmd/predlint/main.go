@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	predlint [-root dir] [-checks a,b] [-json] [-list]
+//	predlint [-root dir] [-checks a,b] [-only path] [-json] [-list]
 //
 // With no -root flag the module root is found by walking up from the
 // working directory to the nearest go.mod.
@@ -27,6 +27,7 @@ func main() {
 		checks   = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		jsonOut  = flag.Bool("json", false, "emit findings as a JSON document instead of text")
 		listOnly = flag.Bool("list", false, "list registered checks with descriptions and exit")
+		only     = flag.String("only", "", "report only findings in files under this module-relative prefix (make lint-self)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "predlint:", err)
 		os.Exit(2)
+	}
+	if *only != "" {
+		prefix := strings.TrimSuffix(*only, "/") + "/"
+		kept := res.Findings[:0]
+		for _, f := range res.Findings {
+			if strings.HasPrefix(f.File, prefix) || f.File == strings.TrimSuffix(*only, "/") {
+				kept = append(kept, f)
+			}
+		}
+		res.Findings = kept
 	}
 
 	if *jsonOut {

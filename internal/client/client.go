@@ -146,7 +146,7 @@ type Client struct {
 	http *http.Client
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand //predlint:guardedby mu
 
 	seq      atomic.Uint64
 	reqSeq   atomic.Uint64
@@ -156,7 +156,7 @@ type Client struct {
 	sleptNS  atomic.Int64
 
 	idsMu      sync.Mutex
-	retriedIDs []string
+	retriedIDs []string //predlint:guardedby idsMu
 
 	binary      atomic.Bool // still posting COHWIRE1 (cleared by the one-way downgrade)
 	binaryPosts atomic.Int64

@@ -78,8 +78,8 @@ type Stats struct {
 // counters for the once-only fault classes.
 type point struct {
 	mu    sync.Mutex
-	rng   *rand.Rand
-	calls int
+	rng   *rand.Rand //predlint:guardedby mu
+	calls int        //predlint:guardedby mu
 }
 
 // Injector injects faults at named points. The zero of *Injector (nil)
@@ -88,7 +88,7 @@ type Injector struct {
 	cfg Config
 
 	mu     sync.Mutex
-	points map[string]*point
+	points map[string]*point //predlint:guardedby mu
 
 	drops, delays, resets, errors, panics, kills, delayNS atomic.Int64
 

@@ -145,6 +145,11 @@ type histSet struct {
 // plain fields; shard workers touch only the atomic ones, through
 // NoteBatch and MarkFault. All methods are nil-safe so an untraced call
 // path (standalone sessions, disabled recorder) costs one pointer test.
+// Ownership moves by handoff only — pool Get, ring Swap, Finish — and
+// the //predlint:owned contract makes touching a record after handing it
+// off a lint finding.
+//
+//predlint:owned
 type Record struct {
 	id        string
 	session   string
@@ -319,6 +324,10 @@ type ring struct {
 
 func newRing(n int) *ring { return &ring{slots: make([]atomic.Pointer[Record], n)} }
 
+// put publishes r into the ring, transferring ownership; the displaced
+// record comes back for the caller to recycle.
+//
+//predlint:handoff
 func (g *ring) put(r *Record) *Record {
 	i := g.next.Add(1) - 1
 	return g.slots[i%uint64(len(g.slots))].Swap(r)
@@ -345,8 +354,17 @@ type Recorder struct {
 	ring *ring
 	slow *ring
 
+	// evJSON and evWire are the two event-path families, resolved once in
+	// New so Begin's hot path never touches the map or its mutex. (Begin
+	// used to read hists lock-free for these keys, racing histSet's
+	// insert of a novel route/transport pair — a concurrent map
+	// read/write the guardedby annotation below now makes impossible to
+	// reintroduce.)
+	evJSON *histSet
+	evWire *histSet
+
 	mu    sync.Mutex
-	hists map[string]*histSet
+	hists map[string]*histSet //predlint:guardedby mu
 	reg   *obs.Registry
 }
 
@@ -375,9 +393,9 @@ func New(o Options) *Recorder {
 	}
 	r.pool.New = func() interface{} { return new(Record) }
 	// Pre-resolve the known families so the event path never takes the
-	// resolution mutex.
-	r.histSet(RouteEvents, TransportJSON)
-	r.histSet(RouteEvents, TransportWire)
+	// resolution mutex (or touches the guarded map) at all.
+	r.evJSON = r.histSet(RouteEvents, TransportJSON)
+	r.evWire = r.histSet(RouteEvents, TransportWire)
 	return r
 }
 
@@ -410,11 +428,12 @@ func (rec *Recorder) Begin(route, transport string) *Record {
 	r := rec.pool.Get().(*Record)
 	r.reset()
 	r.route, r.transport = route, transport
-	if route == RouteEvents && transport == TransportJSON {
-		r.hist = rec.hists[RouteEvents+"_"+TransportJSON]
-	} else if route == RouteEvents && transport == TransportWire {
-		r.hist = rec.hists[RouteEvents+"_"+TransportWire]
-	} else {
+	switch {
+	case route == RouteEvents && transport == TransportJSON:
+		r.hist = rec.evJSON
+	case route == RouteEvents && transport == TransportWire:
+		r.hist = rec.evWire
+	default:
 		r.hist = rec.histSet(route, transport)
 	}
 	r.start = Nanos()
@@ -425,7 +444,10 @@ func (rec *Recorder) Begin(route, transport string) *Record {
 // RED histograms, and promotes the record — to the slow-log if it erred,
 // carried a fault, or crossed the slow threshold; to the main ring if it
 // hit the sampling stride; back to the pool otherwise. After Finish the
-// caller must not touch the record. Safe on nil recorder or record.
+// caller must not touch the record (enforced by the goroutineown check
+// through the handoff annotation). Safe on nil recorder or record.
+//
+//predlint:handoff
 func (rec *Recorder) Finish(r *Record, status int) {
 	if rec == nil || r == nil {
 		return
@@ -452,6 +474,9 @@ func (rec *Recorder) Finish(r *Record, status int) {
 	}
 }
 
+// recycle returns a displaced record to the pool.
+//
+//predlint:handoff
 func (rec *Recorder) recycle(r *Record) {
 	if r != nil {
 		rec.pool.Put(r)

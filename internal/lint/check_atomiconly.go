@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkAtomicOnly enforces atomic access discipline on two kinds of
+// struct fields:
+//
+//   - every field whose type comes from sync/atomic (atomic.Uint64,
+//     atomic.Value, atomic.Pointer[T], ...) — these are auto-enrolled,
+//     no annotation needed;
+//   - plain-typed fields annotated //predlint:atomic — the legacy style
+//     where a uint64 is only ever touched through atomic.LoadUint64 /
+//     atomic.StoreUint64 on its address.
+//
+// An atomic-typed field may only be used as the receiver of a method
+// call (or method value). Using it in value context copies the atomic —
+// the copy's state is disconnected from the original — and taking its
+// address hands out a channel for plain access, so both are findings;
+// the one sanctioned address-taking is passing &x.f straight to a
+// sync/atomic package function, which is exactly how annotated plain
+// fields must be accessed (anything else on those is a plain load/store
+// finding). Pre-publication writes to annotated plain fields through
+// function-local values are exempt, mirroring the guardedby rule.
+func checkAtomicOnly(c *Context) {
+	auto, ann := c.collectAtomicTargets()
+	if len(auto) == 0 && len(ann) == 0 {
+		return
+	}
+	for _, pkg := range c.Pkgs {
+		for _, file := range pkg.Files {
+			w := &atomicWalker{c: c, pkg: pkg, auto: auto, ann: ann}
+			w.file(file)
+		}
+	}
+}
+
+// collectAtomicTargets gathers the auto-enrolled sync/atomic fields and
+// the //predlint:atomic annotated plain fields.
+func (c *Context) collectAtomicTargets() (auto, ann map[types.Object]bool) {
+	auto, ann = map[types.Object]bool{}, map[types.Object]bool{}
+	for _, pkg := range c.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					text, pos := fieldDirective(field, atomicMarker)
+					if text != "" {
+						c.consume(pos)
+					}
+					for _, name := range field.Names {
+						obj := pkg.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						switch {
+						case isAtomicType(obj.Type()):
+							auto[obj] = true
+						case text != "":
+							ann[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return auto, ann
+}
+
+// isAtomicType reports whether t is a named type (or generic instance)
+// declared in sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// atomicWalker scans one file with an explicit ancestor stack, so each
+// target-field selector can be classified by its use context.
+type atomicWalker struct {
+	c     *Context
+	pkg   *Package
+	auto  map[types.Object]bool
+	ann   map[types.Object]bool
+	stack []ast.Node
+	fn    *ast.FuncDecl // enclosing function, for the local-base exemption
+}
+
+func (w *atomicWalker) file(f *ast.File) {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			w.fn = fd
+		} else {
+			w.fn = nil
+		}
+		w.stack = w.stack[:0]
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if n == nil {
+				w.stack = w.stack[:len(w.stack)-1]
+				return false
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				w.classify(sel)
+			}
+			w.stack = append(w.stack, n)
+			return true
+		})
+	}
+}
+
+// parent returns the i-th ancestor of the node under inspection (1 = its
+// direct parent).
+func (w *atomicWalker) parent(i int) ast.Node {
+	if len(w.stack) < i {
+		return nil
+	}
+	return w.stack[len(w.stack)-i]
+}
+
+func (w *atomicWalker) classify(sel *ast.SelectorExpr) {
+	selection, ok := w.pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	obj := selection.Obj()
+	isAuto, isAnn := w.auto[obj], w.ann[obj]
+	if !isAuto && !isAnn {
+		return
+	}
+	field := obj.Name()
+	parent := w.parent(1)
+
+	// &x.f straight into a sync/atomic call is the sanctioned address
+	// form for both kinds of field.
+	if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == sel {
+		if w.atomicCallArg(u) {
+			return
+		}
+		if isAuto {
+			w.c.reportf("atomiconly", "atomiconly/escape", sel.Sel.Pos(),
+				"address of atomic field %s escapes: anything holding it can bypass the atomic API", field)
+		} else {
+			w.c.reportf("atomiconly", "atomiconly/escape", sel.Sel.Pos(),
+				"address of //predlint:atomic field %s taken outside a sync/atomic call", field)
+		}
+		return
+	}
+
+	if isAuto {
+		// Receiver of a method call or method value: the only legal use.
+		if p, ok := parent.(*ast.SelectorExpr); ok && p.X == sel {
+			if ms, ok := w.pkg.Info.Selections[p]; ok && ms.Kind() == types.MethodVal {
+				return
+			}
+		}
+		if w.assignTarget(sel, parent) {
+			w.c.reportf("atomiconly", "atomiconly/plain-access", sel.Sel.Pos(),
+				"plain store to atomic field %s: use its Store method", field)
+			return
+		}
+		w.c.reportf("atomiconly", "atomiconly/copy", sel.Sel.Pos(),
+			"atomic field %s used by value: the copy's state is disconnected from the original", field)
+		return
+	}
+
+	// Annotated plain field: every other access is a plain load/store.
+	if w.fn != nil && w.localBaseExpr(sel.X) {
+		return // pre-publication construction through a local value
+	}
+	w.c.reportf("atomiconly", "atomiconly/plain-access", sel.Sel.Pos(),
+		"plain access to //predlint:atomic field %s: go through sync/atomic on its address", field)
+}
+
+// assignTarget reports whether sel is a direct assignment LHS or IncDec
+// operand.
+func (w *atomicWalker) assignTarget(sel *ast.SelectorExpr, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == sel {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == sel
+	}
+	return false
+}
+
+// atomicCallArg reports whether the &field expression is an argument to
+// a sync/atomic package function (atomic.AddUint64(&x.n, 1), ...).
+func (w *atomicWalker) atomicCallArg(u *ast.UnaryExpr) bool {
+	call, ok := w.parent(2).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, a := range call.Args {
+		if a == u {
+			path, _ := pkgFunc(w.pkg.Info, call)
+			return path == "sync/atomic"
+		}
+	}
+	return false
+}
+
+// localBaseExpr mirrors gbWalker.localBase for the atomic walker: true
+// when the access bottoms out in a variable declared in the enclosing
+// function body.
+func (w *atomicWalker) localBaseExpr(e ast.Expr) bool {
+	gw := &gbWalker{c: w.c, pkg: w.pkg, fn: w.fn}
+	return gw.localBase(e)
+}

@@ -82,17 +82,17 @@ func (c *Context) checkDetCall(pkg *Package, call *ast.CallExpr, allowClock bool
 	switch path {
 	case "time":
 		if (name == "Now" || name == "Since") && !allowClock {
-			c.reportf("determinism", call.Pos(),
+			c.reportf("determinism", "determinism/clock", call.Pos(),
 				"time.%s in deterministic package %s: results must not depend on the wall clock", name, pkg.Name)
 		}
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[name] {
-			c.reportf("determinism", call.Pos(),
+			c.reportf("determinism", "determinism/rand", call.Pos(),
 				"global rand.%s in deterministic package %s: use an explicitly seeded *rand.Rand", name, pkg.Name)
 		}
 	case "os":
 		if name == "Getenv" || name == "LookupEnv" || name == "Environ" {
-			c.reportf("determinism", call.Pos(),
+			c.reportf("determinism", "determinism/env", call.Pos(),
 				"os.%s in deterministic package %s: results must not depend on the environment", name, pkg.Name)
 		}
 	}
@@ -111,7 +111,7 @@ func (c *Context) checkMapRange(pkg *Package, rng *ast.RangeStmt) {
 		return
 	}
 	if reason := orderSensitive(pkg.Info, rng.Body); reason != "" {
-		c.reportf("determinism", rng.Pos(),
+		c.reportf("determinism", "determinism/map-order", rng.Pos(),
 			"iteration over map reaches an order-sensitive path (%s); map order is random", reason)
 	}
 }

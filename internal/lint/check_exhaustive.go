@@ -118,6 +118,6 @@ func (c *Context) lintSwitch(pkg *Package, sw *ast.SwitchStmt, enum string, cons
 		return
 	}
 	sort.Strings(missing)
-	c.reportf("exhaustive", sw.Pos(),
+	c.reportf("exhaustive", "exhaustive/missing-case", sw.Pos(),
 		"switch over %s misses %s and has no default", enum, strings.Join(missing, ", "))
 }

@@ -1,0 +1,586 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkGuardedBy enforces //predlint:guardedby annotations: a struct
+// field documented with
+//
+//	pending int //predlint:guardedby mu
+//
+// may only be read or written while the named sibling mutex is held on
+// every path through the enclosing function. The analysis is
+// intra-procedural lock-set tracking: Lock/RLock add the mutex (keyed by
+// the receiver expression, so s.mu and t.mu are distinct), Unlock/RUnlock
+// remove it, a deferred Unlock keeps it held to function exit, and
+// branches merge by intersection (a path that returns or panics does not
+// constrain the code after the branch). RLock suffices for reads; a write
+// under RLock only is its own finding.
+//
+// Two deliberate holes keep the check usable:
+//
+//   - accesses through function-local variables are exempt (the
+//     pre-publication construction pattern: build the value, then hand it
+//     to the world);
+//   - goroutine bodies and non-immediate function literals start with an
+//     empty lock set — they run later, under whatever locks they take
+//     themselves. A deferred literal is analyzed with the lock set at the
+//     defer statement, matching the lock-then-defer-cleanup idiom.
+type guardInfo struct {
+	mutex string // sibling field name
+	rw    bool   // sibling is a sync.RWMutex
+}
+
+// lockSet maps a mutex key ("s.mu") to the strongest mode held on every
+// path so far: lockRead (RLock) or lockWrite (Lock).
+type lockSet map[string]int
+
+const (
+	lockRead  = 1
+	lockWrite = 2
+)
+
+func (ls lockSet) clone() lockSet {
+	out := make(lockSet, len(ls))
+	for k, v := range ls {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps only the locks held (at the weaker mode) in both sets.
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				out[k] = vb
+			} else {
+				out[k] = va
+			}
+		}
+	}
+	return out
+}
+
+func checkGuardedBy(c *Context) {
+	guarded := c.collectGuarded()
+	if len(guarded) == 0 {
+		return
+	}
+	for _, pkg := range c.Pkgs {
+		eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			if fd.Body == nil {
+				return
+			}
+			w := &gbWalker{c: c, pkg: pkg, fn: fd, guarded: guarded}
+			w.block(fd.Body.List, lockSet{})
+		})
+	}
+}
+
+// collectGuarded parses every //predlint:guardedby field annotation in
+// the module, validates the named sibling mutex, and returns the guarded
+// field objects. Invalid annotations (missing or non-mutex sibling) are
+// bad-mutex findings; either way the annotation is consumed, so
+// staleignore does not double-report it.
+func (c *Context) collectGuarded() map[types.Object]guardInfo {
+	out := map[types.Object]guardInfo{}
+	for _, pkg := range c.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					text, pos := fieldDirective(field, guardedbyPrefix)
+					if text == "" {
+						continue
+					}
+					c.consume(pos)
+					fields := strings.Fields(strings.TrimPrefix(text, guardedbyPrefix))
+					if len(fields) != 1 {
+						c.reportDirectivef("guardedby", "guardedby/bad-mutex", text, field.Pos(),
+							"guardedby annotation needs exactly one mutex field name")
+						continue
+					}
+					mutex := fields[0]
+					rw, ok := siblingMutex(pkg, st, mutex)
+					if !ok {
+						c.reportDirectivef("guardedby", "guardedby/bad-mutex", text, field.Pos(),
+							"guardedby names %s, which is not a sibling sync.Mutex or sync.RWMutex field", mutex)
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							out[obj] = guardInfo{mutex: mutex, rw: rw}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// fieldDirective finds a directive with the given prefix in a struct
+// field's doc group or trailing comment.
+func fieldDirective(field *ast.Field, prefix string) (string, token.Pos) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, cmt := range cg.List {
+			text := directiveText(cmt.Text)
+			if text == prefix || strings.HasPrefix(text, prefix+" ") {
+				return text, cmt.Pos()
+			}
+		}
+	}
+	return "", token.NoPos
+}
+
+// siblingMutex reports whether the struct has a field of the given name
+// whose type is sync.Mutex or sync.RWMutex, and whether it is an RWMutex.
+func siblingMutex(pkg *Package, st *ast.StructType, name string) (rw, ok bool) {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			obj := pkg.Info.Defs[n]
+			if obj == nil {
+				return false, false
+			}
+			named, isNamed := obj.Type().(*types.Named)
+			if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+				return false, false
+			}
+			switch named.Obj().Name() {
+			case "Mutex":
+				return false, true
+			case "RWMutex":
+				return true, true
+			}
+			return false, false
+		}
+	}
+	return false, false
+}
+
+// gbWalker interprets one function body, threading the lock set through
+// the statement structure.
+type gbWalker struct {
+	c       *Context
+	pkg     *Package
+	fn      *ast.FuncDecl
+	guarded map[types.Object]guardInfo
+}
+
+// block runs the statements in order; it returns the exit lock set and
+// whether every path through the block terminates (return/panic/branch).
+func (w *gbWalker) block(stmts []ast.Stmt, ls lockSet) (lockSet, bool) {
+	for _, s := range stmts {
+		var term bool
+		ls, term = w.stmt(s, ls)
+		if term {
+			return ls, true
+		}
+	}
+	return ls, false
+}
+
+func (w *gbWalker) stmt(s ast.Stmt, ls lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scan(s.X, ls)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isPanicCall(call) {
+				return ls, true
+			}
+			w.applyLockOp(call, ls)
+		}
+		return ls, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, ls)
+		}
+		for _, lhs := range s.Lhs {
+			w.write(lhs, ls)
+		}
+		return ls, false
+	case *ast.IncDecStmt:
+		w.write(s.X, ls)
+		return ls, false
+	case *ast.DeferStmt:
+		w.deferStmt(s, ls)
+		return ls, false
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.scan(a, ls)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(fl.Body.List, lockSet{})
+		}
+		return ls, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, ls)
+		}
+		return ls, true
+	case *ast.BranchStmt:
+		return ls, true
+	case *ast.BlockStmt:
+		return w.block(s.List, ls)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, ls)
+	case *ast.IfStmt:
+		return w.ifStmt(s, ls)
+	case *ast.ForStmt:
+		return w.forStmt(s, ls)
+	case *ast.RangeStmt:
+		return w.rangeStmt(s, ls)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls, _ = w.stmt(s.Init, ls)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, ls)
+		}
+		return w.clauses(s.Body.List, ls, hasDefaultClause(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			ls, _ = w.stmt(s.Init, ls)
+		}
+		ls, _ = w.stmt(s.Assign, ls)
+		return w.clauses(s.Body.List, ls, hasDefaultClause(s.Body.List))
+	case *ast.SelectStmt:
+		// A select runs exactly one of its cases (blocking without a
+		// default), so the merge is the intersection of the case exits
+		// with no entry-state escape hatch.
+		return w.selectStmt(s, ls)
+	case *ast.SendStmt:
+		w.scan(s.Chan, ls)
+		w.scan(s.Value, ls)
+		return ls, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scan(v, ls)
+					}
+				}
+			}
+		}
+		return ls, false
+	default:
+		return ls, false
+	}
+}
+
+func (w *gbWalker) ifStmt(s *ast.IfStmt, ls lockSet) (lockSet, bool) {
+	if s.Init != nil {
+		ls, _ = w.stmt(s.Init, ls)
+	}
+	w.scan(s.Cond, ls)
+	thenOut, thenTerm := w.block(s.Body.List, ls.clone())
+	elseOut, elseTerm := ls.clone(), false
+	if s.Else != nil {
+		elseOut, elseTerm = w.stmt(s.Else, ls.clone())
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return ls, true
+	case thenTerm:
+		return elseOut, false
+	case elseTerm:
+		return thenOut, false
+	default:
+		return intersect(thenOut, elseOut), false
+	}
+}
+
+func (w *gbWalker) forStmt(s *ast.ForStmt, ls lockSet) (lockSet, bool) {
+	if s.Init != nil {
+		ls, _ = w.stmt(s.Init, ls)
+	}
+	if s.Cond != nil {
+		w.scan(s.Cond, ls)
+	}
+	bodyOut, _ := w.block(s.Body.List, ls.clone())
+	if s.Post != nil {
+		bodyOut, _ = w.stmt(s.Post, bodyOut)
+	}
+	// The body may run zero times, so the exit keeps only locks held both
+	// on entry and at the end of an iteration. An infinite loop with no
+	// condition and no break would terminate the path, but detecting
+	// breaks is not worth the precision here.
+	return intersect(ls, bodyOut), false
+}
+
+func (w *gbWalker) rangeStmt(s *ast.RangeStmt, ls lockSet) (lockSet, bool) {
+	w.scan(s.X, ls)
+	bodyOut, _ := w.block(s.Body.List, ls.clone())
+	return intersect(ls, bodyOut), false
+}
+
+// clauses merges switch/type-switch case bodies: intersection of the
+// non-terminating exits, plus the entry state when there is no default
+// (the switch may fall through untouched).
+func (w *gbWalker) clauses(list []ast.Stmt, ls lockSet, hasDefault bool) (lockSet, bool) {
+	var outs []lockSet
+	for _, cs := range list {
+		clause, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range clause.List {
+			w.scan(e, ls)
+		}
+		out, term := w.block(clause.Body, ls.clone())
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, ls)
+	}
+	return mergeOuts(outs, ls)
+}
+
+func (w *gbWalker) selectStmt(s *ast.SelectStmt, ls lockSet) (lockSet, bool) {
+	var outs []lockSet
+	for _, cs := range s.Body.List {
+		comm, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		st := ls.clone()
+		if comm.Comm != nil {
+			st, _ = w.stmt(comm.Comm, st)
+		}
+		out, term := w.block(comm.Body, st)
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	return mergeOuts(outs, ls)
+}
+
+// mergeOuts intersects the surviving branch exits; no survivors means
+// every path terminated.
+func mergeOuts(outs []lockSet, entry lockSet) (lockSet, bool) {
+	if len(outs) == 0 {
+		return entry, true
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = intersect(merged, o)
+	}
+	return merged, false
+}
+
+func hasDefaultClause(list []ast.Stmt) bool {
+	for _, cs := range list {
+		if clause, ok := cs.(*ast.CaseClause); ok && clause.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// deferStmt handles defer: a deferred Unlock keeps the lock held to
+// function exit (no lock-set change); a deferred function literal runs
+// with the locks held at the defer site.
+func (w *gbWalker) deferStmt(s *ast.DeferStmt, ls lockSet) {
+	for _, a := range s.Call.Args {
+		w.scan(a, ls)
+	}
+	if key, op := w.lockOp(s.Call); key != "" {
+		_ = op // deferred Unlock/RUnlock: held until exit; deferred Lock is nonsense, ignore both
+		return
+	}
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		w.block(fl.Body.List, ls.clone())
+	}
+}
+
+// scan walks an expression for guarded-field reads, nested lock ops in
+// immediately-invoked literals, and function literals.
+func (w *gbWalker) scan(e ast.Expr, ls lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Non-immediate literal: runs later under its own locks.
+			w.block(n.Body.List, lockSet{})
+			return false
+		case *ast.CallExpr:
+			if fl, ok := n.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked literal runs here, under ls.
+				for _, a := range n.Args {
+					w.scan(a, ls)
+				}
+				w.block(fl.Body.List, ls.clone())
+				return false
+			}
+		case *ast.CompositeLit:
+			// Keyed struct literals name fields without accessing a live
+			// value; element expressions still need scanning.
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					w.scan(kv.Value, ls)
+				} else {
+					w.scan(el, ls)
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			w.access(n, false, ls)
+		}
+		return true
+	})
+}
+
+// write records a write access to the assignment target, unwrapping
+// parens and indexes (writing s.m[k] mutates the guarded map) but not
+// stars (writing *s.p mutates the pointee, reading the field).
+func (w *gbWalker) write(lhs ast.Expr, ls lockSet) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			w.scan(e.Index, ls)
+			lhs = e.X
+		case *ast.SelectorExpr:
+			w.access(e, true, ls)
+			w.scan(e.X, ls)
+			return
+		default:
+			w.scan(lhs, ls)
+			return
+		}
+	}
+}
+
+// access reports a guarded-field access made without the guard held.
+func (w *gbWalker) access(sel *ast.SelectorExpr, isWrite bool, ls lockSet) {
+	selection, ok := w.pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	info, guarded := w.guarded[selection.Obj()]
+	if !guarded || w.localBase(sel.X) {
+		return
+	}
+	key := types.ExprString(sel.X) + "." + info.mutex
+	mode := ls[key]
+	field := selection.Obj().Name()
+	switch {
+	case mode == 0 && isWrite:
+		w.c.reportf("guardedby", "guardedby/unguarded-write", sel.Sel.Pos(),
+			"write to %s without holding %s (guarded by //predlint:guardedby %s)", field, key, info.mutex)
+	case mode == 0:
+		w.c.reportf("guardedby", "guardedby/unguarded-read", sel.Sel.Pos(),
+			"read of %s without holding %s (guarded by //predlint:guardedby %s)", field, key, info.mutex)
+	case mode == lockRead && isWrite:
+		w.c.reportf("guardedby", "guardedby/rlock-write", sel.Sel.Pos(),
+			"write to %s while %s is only read-locked", field, key)
+	}
+}
+
+// localBase reports whether the access base bottoms out in a variable
+// declared inside this function body — the pre-publication construction
+// exemption: a value built locally is not yet shared.
+func (w *gbWalker) localBase(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return false
+		case *ast.Ident:
+			obj := w.pkg.Info.Uses[x]
+			if obj == nil {
+				return false
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return false
+			}
+			body := w.fn.Body
+			return obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+		default:
+			return false
+		}
+	}
+}
+
+// applyLockOp mutates the lock set for a direct mu.Lock()-style call.
+func (w *gbWalker) applyLockOp(call *ast.CallExpr, ls lockSet) {
+	key, op := w.lockOp(call)
+	if key == "" {
+		return
+	}
+	switch op {
+	case "Lock":
+		ls[key] = lockWrite
+	case "RLock":
+		if ls[key] < lockRead {
+			ls[key] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		delete(ls, key)
+	}
+}
+
+// lockOp recognises a call as mutex Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the receiver key and the method.
+func (w *gbWalker) lockOp(call *ast.CallExpr) (key, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	tv, ok := w.pkg.Info.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", ""
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// isPanicCall recognises a direct call to the panic builtin.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

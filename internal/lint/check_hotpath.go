@@ -65,6 +65,7 @@ func (c *Context) enforceRequiredHotpaths() {
 			c.findings = append(c.findings, Finding{
 				File:    "(config)",
 				Check:   "hotpath",
+				Code:    "hotpath/config",
 				Message: "required hot path " + entry + " names a package that is not in the module",
 			})
 			continue
@@ -77,11 +78,11 @@ func (c *Context) enforceRequiredHotpaths() {
 		})
 		switch {
 		case found == nil:
-			c.reportf("hotpath", pkg.Files[0].Pos(),
+			c.reportf("hotpath", "hotpath/missing", pkg.Files[0].Pos(),
 				"required hot path %s.%s does not exist (update RequiredHotpaths or restore the kernel)",
 				pkg.Path, want)
 		case !c.dirs.isHotpath(found):
-			c.reportf("hotpath", found.Pos(),
+			c.reportf("hotpath", "hotpath/unmarked", found.Pos(),
 				"%s is a required hot path but lacks the //predlint:hotpath annotation", want)
 		}
 	}
@@ -123,7 +124,7 @@ func (c *Context) lintHotFunc(pkg *Package, fd *ast.FuncDecl) {
 			case *ast.UnaryExpr:
 				if m.Op.String() == "&" {
 					if _, ok := m.X.(*ast.CompositeLit); ok {
-						c.reportf("hotpath", m.Pos(),
+						c.reportf("hotpath", "hotpath/escape", m.Pos(),
 							"&composite literal escapes to the heap in hot path %s", fd.Name.Name)
 					}
 				}
@@ -131,7 +132,7 @@ func (c *Context) lintHotFunc(pkg *Package, fd *ast.FuncDecl) {
 				if tv, ok := info.Types[m]; ok {
 					switch tv.Type.Underlying().(type) {
 					case *types.Slice, *types.Map:
-						c.reportf("hotpath", m.Pos(),
+						c.reportf("hotpath", "hotpath/alloc", m.Pos(),
 							"%s composite literal allocates in hot path %s", kindName(tv.Type), fd.Name.Name)
 					}
 				}
@@ -186,7 +187,7 @@ func (c *Context) lintClosure(pkg *Package, fl *ast.FuncLit, loopVars map[types.
 			return true
 		}
 		if obj := pkg.Info.Uses[id]; obj != nil && loopVars[obj] {
-			c.reportf("hotpath", fl.Pos(),
+			c.reportf("hotpath", "hotpath/loop-capture", fl.Pos(),
 				"closure captures loop variable %s (allocates and may alias across iterations)", id.Name)
 			reported = true
 		}
@@ -197,7 +198,7 @@ func (c *Context) lintClosure(pkg *Package, fl *ast.FuncLit, loopVars map[types.
 func (c *Context) lintHotCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, inLoop bool) {
 	info := pkg.Info
 	if path, name := pkgFunc(info, call); path == "fmt" {
-		c.reportf("hotpath", call.Pos(), "fmt.%s call in hot path %s", name, fd.Name.Name)
+		c.reportf("hotpath", "hotpath/fmt", call.Pos(), "fmt.%s call in hot path %s", name, fd.Name.Name)
 		return
 	}
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && inLoop {
@@ -234,7 +235,7 @@ func (c *Context) lintHotCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr
 		if types.IsInterface(at.Type) || at.IsNil() {
 			continue
 		}
-		c.reportf("hotpath", arg.Pos(),
+		c.reportf("hotpath", "hotpath/iface-box", arg.Pos(),
 			"implicit conversion of %s to interface %s boxes the value in hot path %s",
 			at.Type.String(), pt.String(), fd.Name.Name)
 	}
@@ -257,7 +258,7 @@ func (c *Context) lintAppend(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr)
 	}
 	known, prealloc := declHasPrealloc(pkg, fd, obj)
 	if known && !prealloc {
-		c.reportf("hotpath", call.Pos(),
+		c.reportf("hotpath", "hotpath/append", call.Pos(),
 			"append to %s inside a loop without preallocated capacity in hot path %s", id.Name, fd.Name.Name)
 	}
 }

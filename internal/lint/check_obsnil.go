@@ -36,7 +36,7 @@ func checkObsNil(c *Context) {
 				continue
 			}
 			if isHandle(selection.Recv()) {
-				c.reportf("obsnil", sel.Sel.Pos(),
+				c.reportf("obsnil", "obsnil/field", sel.Sel.Pos(),
 					"direct field access %s on obs handle %s: use the nil-safe methods",
 					sel.Sel.Name, selection.Recv().String())
 			}
@@ -48,7 +48,7 @@ func checkObsNil(c *Context) {
 					return true
 				}
 				if tv, ok := pkg.Info.Types[lit]; ok && isHandle(tv.Type) {
-					c.reportf("obsnil", lit.Pos(),
+					c.reportf("obsnil", "obsnil/literal", lit.Pos(),
 						"obs handle literal %s bypasses the registry: resolve handles via Registry methods", tv.Type.String())
 				}
 				return true

@@ -30,12 +30,12 @@ func checkPanicFree(c *Context) {
 					return true
 				}
 				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-					c.reportf("panicfree", call.Pos(),
+					c.reportf("panicfree", "panicfree/panic", call.Pos(),
 						"panic in library package %s: return an error instead", pkg.Name)
 					return true
 				}
 				if path, name := pkgFunc(pkg.Info, call); path == "log" && strings.HasPrefix(name, "Fatal") {
-					c.reportf("panicfree", call.Pos(),
+					c.reportf("panicfree", "panicfree/fatal", call.Pos(),
 						"log.%s in library package %s: return an error instead", name, pkg.Name)
 				}
 				return true

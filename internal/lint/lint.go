@@ -13,11 +13,21 @@
 //   - obsnil: obs handles are used only through their nil-safe methods
 //     outside internal/obs;
 //   - panicfree: library packages return errors instead of panicking;
-//   - exhaustive: switches over the taxonomy enums cover every constant.
+//   - exhaustive: switches over the taxonomy enums cover every constant;
+//   - guardedby: fields annotated //predlint:guardedby mu are only
+//     touched while that mutex is held on every path through the function;
+//   - atomiconly: sync/atomic-typed fields (and //predlint:atomic
+//     annotations) are never plain-accessed, copied, or address-escaped;
+//   - goroutineown: //predlint:owned values are not touched after being
+//     handed off to another goroutine (send, pool Put, pointer Swap);
+//   - staleignore: every predlint directive still earns its keep — dead
+//     ignores and dangling annotations are findings.
 //
 // Every finding is suppressible at the site with a
 // "//predlint:ignore <check> reason" comment, so intentional exceptions
-// are visible and greppable. The analyzer uses only the standard library
+// are visible and greppable — and the staleignore check flags any such
+// comment the moment it stops suppressing anything, so the exception list
+// cannot rot. The analyzer uses only the standard library
 // (go/parser, go/ast, go/types): the module stays dependency-free.
 package lint
 
@@ -29,20 +39,30 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic: a location, the check that fired, and a
-// message. File paths are relative to the module root so output is stable
-// across checkouts.
+// Finding is one diagnostic: a location, the check that fired, a stable
+// machine code, and a message. File paths are relative to the module root
+// so output is stable across checkouts. Code is "check/kind" — the part
+// CI annotations key on, guaranteed not to change when messages are
+// reworded. Directive carries the verbatim comment text when the finding
+// is about a directive itself (the staleignore check).
 type Finding struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Check   string `json:"check"`
-	Message string `json:"message"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Check     string `json:"check"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Directive string `json:"directive,omitempty"`
 }
 
-// String renders the finding in the classic file:line:col form.
+// String renders the finding in the classic file:line:col form, keyed by
+// the stable code when the check set one.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+	label := f.Code
+	if label == "" {
+		label = f.Check
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, label, f.Message)
 }
 
 // Result is the machine-readable outcome of a lint run (the -json
@@ -196,6 +216,28 @@ func Checks() []Check {
 			Desc: "switches over the taxonomy enum types cover every constant or carry a default",
 			run:  checkExhaustive,
 		},
+		{
+			Name: "guardedby",
+			Desc: "fields annotated //predlint:guardedby mu are only touched while that mutex is held on every path (RLock suffices for reads)",
+			run:  checkGuardedBy,
+		},
+		{
+			Name: "atomiconly",
+			Desc: "sync/atomic-typed fields and fields annotated //predlint:atomic are never plain-accessed, copied by value, or address-escaped",
+			run:  checkAtomicOnly,
+		},
+		{
+			Name: "goroutineown",
+			Desc: "values of types annotated //predlint:owned are not touched after being handed off (sent, pooled, swapped, or passed to a //predlint:handoff function)",
+			run:  checkGoroutineOwn,
+		},
+		// staleignore must run last: it judges which ignore directives and
+		// annotations the earlier checks actually consumed this run.
+		{
+			Name: "staleignore",
+			Desc: "every //predlint: directive still suppresses or matches something; dead ignores and dangling annotations are findings",
+			run:  checkStaleIgnore,
+		},
 	}
 }
 
@@ -208,11 +250,34 @@ type Context struct {
 	dirs     *directives
 	findings []Finding
 	dropped  int
+
+	// ran records which checks executed this run; staleignore only judges
+	// directives whose checks actually had the chance to consume them.
+	ran map[string]bool
+	// consumed holds the comment positions of annotation directives
+	// (guardedby/atomic/owned/handoff) that a check matched to a
+	// declaration; anything left over is dangling.
+	consumed map[token.Pos]bool
+}
+
+// consume marks an annotation comment as matched by a check.
+func (c *Context) consume(pos token.Pos) {
+	c.consumed[pos] = true
 }
 
 // reportf records a finding at pos unless a //predlint:ignore comment
-// suppresses it.
-func (c *Context) reportf(check string, pos token.Pos, format string, args ...interface{}) {
+// suppresses it. code is the stable machine code ("check/kind").
+func (c *Context) reportf(check, code string, pos token.Pos, format string, args ...interface{}) {
+	c.report(check, code, "", pos, format, args...)
+}
+
+// reportDirectivef is reportf for findings about a directive comment
+// itself; the verbatim directive text rides along in the finding.
+func (c *Context) reportDirectivef(check, code, directive string, pos token.Pos, format string, args ...interface{}) {
+	c.report(check, code, directive, pos, format, args...)
+}
+
+func (c *Context) report(check, code, directive string, pos token.Pos, format string, args ...interface{}) {
 	p := c.Fset.Position(pos)
 	file := relPath(c.Cfg.Root, p.Filename)
 	if c.dirs.suppressed(file, p.Line, check) {
@@ -220,11 +285,13 @@ func (c *Context) reportf(check string, pos token.Pos, format string, args ...in
 		return
 	}
 	c.findings = append(c.findings, Finding{
-		File:    file,
-		Line:    p.Line,
-		Col:     p.Column,
-		Check:   check,
-		Message: fmt.Sprintf(format, args...),
+		File:      file,
+		Line:      p.Line,
+		Col:       p.Column,
+		Check:     check,
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Directive: directive,
 	})
 }
 
@@ -244,7 +311,12 @@ func Run(cfg *Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ctx := &Context{Cfg: cfg, Fset: fset, Pkgs: pkgs, dirs: collectDirectives(cfg.Root, fset, pkgs)}
+	ctx := &Context{
+		Cfg: cfg, Fset: fset, Pkgs: pkgs,
+		dirs:     collectDirectives(cfg.Root, fset, pkgs),
+		ran:      map[string]bool{},
+		consumed: map[token.Pos]bool{},
+	}
 	enabled := map[string]bool{}
 	for _, name := range cfg.Checks {
 		enabled[name] = true
@@ -253,6 +325,7 @@ func Run(cfg *Config) (Result, error) {
 		if len(enabled) > 0 && !enabled[ch.Name] {
 			continue
 		}
+		ctx.ran[ch.Name] = true
 		ch.run(ctx)
 	}
 	sort.Slice(ctx.findings, func(i, j int) bool {

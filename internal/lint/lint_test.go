@@ -77,12 +77,13 @@ func TestFixtureGolden(t *testing.T) {
 	}
 }
 
-// TestFixtureSuppression: the two //predlint:ignore sites (det.Quiet,
-// lib.Guard) are counted as suppressed and absent from the findings.
+// TestFixtureSuppression: the four //predlint:ignore sites (det.Quiet,
+// lib.Guard, conc.Racy, own.Peek) are counted as suppressed and absent
+// from the findings.
 func TestFixtureSuppression(t *testing.T) {
 	res := runFixture(t)
-	if res.Suppressed != 2 {
-		t.Errorf("suppressed = %d, want 2", res.Suppressed)
+	if res.Suppressed != 4 {
+		t.Errorf("suppressed = %d, want 4", res.Suppressed)
 	}
 	for _, f := range res.Findings {
 		if strings.Contains(f.Message, "Quiet") || f.File == "lib/lib.go" && f.Line >= 17 {
@@ -146,10 +147,82 @@ func TestJSONShape(t *testing.T) {
 	if !ok {
 		t.Fatalf("finding = %v", findings[0])
 	}
-	for _, key := range []string{"file", "line", "col", "check", "message"} {
+	for _, key := range []string{"file", "line", "col", "check", "code", "message"} {
 		if _, ok := first[key]; !ok {
 			t.Errorf("finding lacks %q", key)
 		}
+	}
+}
+
+// TestJSONGolden pins the complete -json document against
+// testdata/findings.json.golden: field names, code values, and the
+// directive text riding on staleignore findings are all CI contract.
+func TestJSONGolden(t *testing.T) {
+	res := runFixture(t)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data) + "\n"
+	golden := filepath.Join("testdata", "findings.json.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("json document diverges from golden\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFindingCodes: every finding carries a stable machine code prefixed
+// by its check name, and directive text appears exactly on the findings
+// that are about a directive.
+func TestFindingCodes(t *testing.T) {
+	res := runFixture(t)
+	for _, f := range res.Findings {
+		if f.Code == "" {
+			t.Errorf("finding without code: %s", f)
+			continue
+		}
+		if !strings.HasPrefix(f.Code, f.Check+"/") {
+			t.Errorf("code %q does not extend check %q: %s", f.Code, f.Check, f)
+		}
+		if f.Check == "staleignore" && f.Directive == "" {
+			t.Errorf("staleignore finding without directive text: %s", f)
+		}
+		if f.Check != "staleignore" && f.Check != "guardedby" && f.Directive != "" {
+			t.Errorf("non-directive finding carries directive text: %s", f)
+		}
+	}
+}
+
+// TestSelfClean runs the full default configuration over this repository
+// itself: predlint must pass on its own module — including internal/lint
+// — and staleignore must report zero dead directives on the tree. This is
+// the test behind `make lint-self`.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("module is not self-clean: %s", f)
 	}
 }
 

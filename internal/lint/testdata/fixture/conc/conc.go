@@ -1,0 +1,161 @@
+// Package conc is the guardedby / atomiconly fixture: one violating and
+// one accepted pattern per rule.
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter packs every annotation form the two checks parse.
+type Counter struct {
+	mu sync.Mutex
+	// count and total are mu-guarded.
+	count int //predlint:guardedby mu
+	total int //predlint:guardedby mu
+
+	rw   sync.RWMutex
+	view int //predlint:guardedby rw
+
+	bad int //predlint:guardedby nosuch
+
+	hits atomic.Uint64 // auto-enrolled: sync/atomic typed
+
+	//predlint:atomic
+	legacy uint64
+}
+
+// Inc is the accepted pattern: lock held on every path via defer.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+}
+
+// View reads under RLock: accepted.
+func (c *Counter) View() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.view
+}
+
+// BumpView writes under RLock only: finding.
+func (c *Counter) BumpView() {
+	c.rw.RLock()
+	c.view++
+	c.rw.RUnlock()
+}
+
+// Flush misses the unlock on one branch, so the read below is not
+// guarded on every path: finding.
+func (c *Counter) Flush(early bool) int {
+	c.mu.Lock()
+	if early {
+		c.mu.Unlock()
+	}
+	return c.count
+}
+
+// Reset writes with no lock at all: finding.
+func (c *Counter) Reset() {
+	c.count = 0
+}
+
+// NewCounter builds through a local value: pre-publication writes are
+// exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.count = 1
+	return c
+}
+
+// Mode locks on every switch arm before the access: accepted.
+func (c *Counter) Mode(m int) int {
+	switch m {
+	case 0:
+		c.mu.Lock()
+	default:
+		c.mu.Lock()
+	}
+	v := c.count
+	c.mu.Unlock()
+	return v
+}
+
+// WaitLock locks on every select arm before the access: accepted.
+func (c *Counter) WaitLock(ch chan int) int {
+	select {
+	case <-ch:
+		c.mu.Lock()
+	case v := <-ch:
+		_ = v
+		c.mu.Lock()
+	}
+	n := c.count
+	c.mu.Unlock()
+	return n
+}
+
+// Sum holds the lock across the loop: accepted.
+func (c *Counter) Sum(vals []int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range vals {
+		c.total += v
+	}
+	return c.total
+}
+
+// Total reads inside a deferred literal, which runs with the lock held
+// at the defer site: accepted.
+func (c *Counter) Total() (t int) {
+	c.mu.Lock()
+	defer func() {
+		t = c.total
+		c.mu.Unlock()
+	}()
+	return 0
+}
+
+// Leak spawns a goroutine that does not inherit the caller's lock:
+// finding inside the literal.
+func (c *Counter) Leak() {
+	c.mu.Lock()
+	go func() {
+		c.total++
+	}()
+	c.mu.Unlock()
+}
+
+// Racy keeps a deliberate unguarded read for the suppression
+// round-trip.
+func (c *Counter) Racy() int {
+	//predlint:ignore guardedby fixture exercises the guardedby suppression round-trip
+	return c.count
+}
+
+// Hit goes through the atomic's method: accepted.
+func (c *Counter) Hit() {
+	c.hits.Add(1)
+}
+
+// SnapshotHits copies the atomic by value: finding.
+func (c *Counter) SnapshotHits() atomic.Uint64 {
+	return c.hits
+}
+
+// HitsPtr leaks the atomic's address: finding.
+func (c *Counter) HitsPtr() *atomic.Uint64 {
+	return &c.hits
+}
+
+// Legacy goes through sync/atomic on the annotated field's address:
+// accepted.
+func (c *Counter) Legacy() uint64 {
+	return atomic.LoadUint64(&c.legacy)
+}
+
+// LegacyRacy plain-reads the annotated field: finding.
+func (c *Counter) LegacyRacy() uint64 {
+	return c.legacy
+}

@@ -1,0 +1,114 @@
+// Package own is the goroutineown / staleignore fixture: handoff
+// violations, accepted ownership patterns, and every way a predlint
+// directive can rot.
+package own
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buf is a pooled buffer with a single owner at any time.
+//
+//predlint:owned
+type Buf struct {
+	b []byte
+}
+
+var pool = sync.Pool{New: func() interface{} { return new(Buf) }}
+
+// UseDeferred hands the buffer back at exit: accepted.
+func UseDeferred() int {
+	buf := pool.Get().(*Buf)
+	defer pool.Put(buf)
+	return len(buf.b)
+}
+
+// UseAfterPut touches the buffer after the pool owns it again: finding.
+func UseAfterPut() int {
+	buf := pool.Get().(*Buf)
+	pool.Put(buf)
+	return len(buf.b)
+}
+
+// Recycle reassigns after the handoff, installing a fresh value:
+// accepted.
+func Recycle() *Buf {
+	buf := pool.Get().(*Buf)
+	pool.Put(buf)
+	buf = new(Buf)
+	return buf
+}
+
+// SendThenTouch mutates the buffer after sending it away: finding.
+func SendThenTouch(ch chan *Buf) {
+	buf := new(Buf)
+	ch <- buf
+	buf.b = nil
+}
+
+// SwapThenRead reads the buffer after publishing it by Swap: finding.
+func SwapThenRead(slot *atomic.Pointer[Buf]) []byte {
+	buf := new(Buf)
+	old := slot.Swap(buf)
+	_ = old
+	return buf.b
+}
+
+// retire is an annotated handoff sink.
+//
+//predlint:handoff
+func retire(b *Buf) { _ = b }
+
+// RetireThenUse reuses the buffer after the annotated handoff: finding.
+func RetireThenUse() int {
+	buf := new(Buf)
+	retire(buf)
+	return len(buf.b)
+}
+
+// MaybeRetire hands off only on a terminating branch, so the tail use is
+// clean: accepted.
+func MaybeRetire(done bool) *Buf {
+	buf := new(Buf)
+	if done {
+		retire(buf)
+		return nil
+	}
+	return buf
+}
+
+// Peek keeps a deliberate read-after-put for the suppression
+// round-trip.
+func Peek() int {
+	buf := pool.Get().(*Buf)
+	pool.Put(buf)
+	//predlint:ignore goroutineown fixture exercises the goroutineown suppression round-trip
+	return cap(buf.b)
+}
+
+// Quiet carries a dead suppression: nothing here panics, so the ignore
+// suppresses nothing and staleignore flags it.
+//
+//predlint:ignore panicfree fixture stale suppression for the staleignore fixture
+func Quiet() {}
+
+// NoReason carries an ignore with no reason string (also dead).
+//
+//predlint:ignore exhaustive
+func NoReason() {}
+
+// Typo carries an ignore naming a check that does not exist.
+//
+//predlint:ignore frobcheck fixture names an unknown check
+func Typo() {}
+
+func dangling() {
+	//predlint:owned
+	//predlint:guardedby mu
+	//predlint:hotpath
+	//predlint:frobnicate
+	//predlint:ignore
+	x := 0
+	_ = x
+}

@@ -139,12 +139,12 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 	s := r.Snapshot().Histograms["q"]
 	for _, tc := range []struct{ q, want float64 }{
-		{0.5, 1},    // rank 5 sits exactly on the first bound
-		{0.8, 2},    // rank 8 exhausts the second bucket
-		{0.9, 3},    // rank 9: halfway through (2,4]
-		{1.0, 4},    // rank 10: top of the last finite bucket
-		{-1, 0},     // clamped to q=0: rank 0 interpolates to the bucket floor
-		{2, 4},      // clamped to q=1
+		{0.5, 1}, // rank 5 sits exactly on the first bound
+		{0.8, 2}, // rank 8 exhausts the second bucket
+		{0.9, 3}, // rank 9: halfway through (2,4]
+		{1.0, 4}, // rank 10: top of the last finite bucket
+		{-1, 0},  // clamped to q=0: rank 0 interpolates to the bucket floor
+		{2, 4},   // clamped to q=1
 	} {
 		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
 			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)

@@ -18,8 +18,8 @@ type Manifest struct {
 	// injection enabled; a chaos run replays from this value alone.
 	ChaosSeed int64  `json:"chaos_seed,omitempty"`
 	GoVersion string `json:"go_version"`
-	GOOS   string `json:"goos"`
-	GOARCH string `json:"goarch"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
 	// GitRevision is the VCS revision stamped by the go tool; empty for
 	// non-VCS builds (go run from a module cache, test binaries).
 	GitRevision string `json:"git_revision,omitempty"`

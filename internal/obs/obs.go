@@ -141,11 +141,11 @@ type Registry struct {
 	start time.Time
 
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	spans    map[string]*spanStat
-	manifest *Manifest
+	counters map[string]*Counter   //predlint:guardedby mu
+	gauges   map[string]*Gauge     //predlint:guardedby mu
+	hists    map[string]*Histogram //predlint:guardedby mu
+	spans    map[string]*spanStat  //predlint:guardedby mu
+	manifest *Manifest             //predlint:guardedby mu
 }
 
 // New returns an empty registry; its wall-time clock starts now.

@@ -17,6 +17,7 @@ package sched
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Memory is the interface workloads issue accesses against; the machine
@@ -75,9 +76,19 @@ type Runtime struct {
 
 	// threadPanic carries a panic raised inside a thread body to the
 	// scheduler, which re-raises it from Run so callers see it on their
-	// own goroutine.
-	threadPanic interface{}
+	// own goroutine. The yield channel already orders the store before
+	// the scheduler's load; the atomic.Value makes the cross-goroutine
+	// handoff explicit, and predlint's atomiconly check enforces that no
+	// plain access creeps in. Stores always carry a panicValue box so the
+	// concrete type stays consistent no matter what the kernel panicked
+	// with.
+	threadPanic atomic.Value
 }
+
+// panicValue boxes a recovered panic for Runtime.threadPanic: atomic.Value
+// requires every Store to carry the same concrete type, and a kernel may
+// panic with anything.
+type panicValue struct{ v interface{} }
 
 // Thread is the per-processor handle passed to kernel bodies.
 type Thread struct {
@@ -164,7 +175,7 @@ func (rt *Runtime) Run(body func(*Thread)) {
 			<-t.resume
 			defer func() {
 				if r := recover(); r != nil {
-					rt.threadPanic = r
+					rt.threadPanic.Store(panicValue{r})
 				}
 				t.state = finished
 				rt.live--
@@ -208,9 +219,9 @@ func (rt *Runtime) schedule() {
 		t := cand[rt.rng.Intn(len(cand))]
 		t.resume <- struct{}{}
 		<-rt.yield
-		if rt.threadPanic != nil {
+		if p := rt.threadPanic.Load(); p != nil {
 			//predlint:ignore panicfree re-raises a workload thread's own panic
-			panic(rt.threadPanic)
+			panic(p.(panicValue).v)
 		}
 	}
 }

@@ -141,9 +141,9 @@ type Session struct {
 	shards []*shard
 
 	mu       sync.Mutex
-	pending  int
-	closing  bool
-	quiesced bool
+	pending  int  //predlint:guardedby mu
+	closing  bool //predlint:guardedby mu
+	quiesced bool //predlint:guardedby mu
 	reqs     sync.WaitGroup
 	closed   chan struct{}
 
@@ -156,8 +156,8 @@ type Session struct {
 	// Idempotency cache: key → completed (or in-flight) batch result, in
 	// FIFO insertion order for eviction.
 	idemMu    sync.Mutex
-	idem      map[string]*idemEntry
-	idemOrder []string
+	idem      map[string]*idemEntry //predlint:guardedby idemMu
+	idemOrder []string              //predlint:guardedby idemMu
 
 	om *serveMetrics
 }
@@ -542,7 +542,9 @@ func (s *Session) importSnapshot(snap *eval.Snapshot, extra *sessionExtra) error
 	for _, it := range extra.idem {
 		e := &idemEntry{done: make(chan struct{}), preds: it.preds}
 		close(e.done)
+		//predlint:ignore guardedby pre-publication: the session is freshly built and unshared, see the function comment
 		s.idem[it.key] = e
+		//predlint:ignore guardedby pre-publication: same argument as the line above
 		s.idemOrder = append(s.idemOrder, it.key)
 	}
 	return nil

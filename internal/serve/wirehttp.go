@@ -24,6 +24,11 @@ import (
 
 // wireBuf is one request's worth of reusable buffers. Slices are stored
 // at whatever capacity they grew to; every use re-slices to length 0.
+// A wireBuf has exactly one owner — the handler between Get and the
+// deferred Put — so touching one after it returns to the pool is a
+// goroutineown finding.
+//
+//predlint:owned
 type wireBuf struct {
 	body  []byte
 	evs   []trace.Event
