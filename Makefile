@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-self lint-timed test race race-hammer bench build obs-demo serve-demo chaos-demo trace-demo fuzz-smoke cover bench-ledger throughput-smoke
+.PHONY: check vet lint lint-self lint-timed test race race-hammer bench build obs-demo serve-demo chaos-demo trace-demo load-demo fuzz-smoke cover bench-ledger throughput-smoke
 
 check: vet lint race
 
@@ -83,10 +83,17 @@ chaos-demo:
 trace-demo:
 	$(GO) run ./cmd/predtrace -demo
 
+# Load-generator demo: boot an in-process server, drive it with a seeded
+# 2-second open-loop poisson run over the binary transport, write the
+# predload-slo/v1 ledger, and re-validate it through benchledger.
+load-demo:
+	$(GO) run ./cmd/predload -demo -out BENCH_predload.json
+	$(GO) run ./cmd/benchledger -check BENCH_predload.json
+
 # Short native-fuzzing pass over the serialized attack surfaces: the JSON
 # event decoder, the COHWIRE1 batch/reply decoders (plus the JSON↔binary
 # cross-equivalence property), the shard router's co-location invariants,
-# and the engine-checkpoint wire decoder.
+# the engine-checkpoint wire decoder, and the COHTRACE1 trace decoders.
 fuzz-smoke:
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDecodeEventRequest -fuzztime=10s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDecodeWireBatch -fuzztime=10s
@@ -94,6 +101,8 @@ fuzz-smoke:
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzWireJSONCross -fuzztime=10s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzRouteKey -fuzztime=10s
 	$(GO) test ./internal/eval -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=10s
+	$(GO) test ./internal/traffic -run='^$$' -fuzz=FuzzDecodeTraceFile -fuzztime=10s
+	$(GO) test ./internal/traffic -run='^$$' -fuzz=FuzzDecodeTraceRecord -fuzztime=10s
 
 # Regenerate the committed benchmark ledger: the transport comparison
 # (codec-level halves from the repo root, end-to-end HTTP pair from
@@ -112,10 +121,10 @@ throughput-smoke:
 # below measured coverage, so a change that lands a chunk of untested code
 # in the serving/eval/fault/client layers fails the build.
 cover:
-	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client ./internal/flight ./internal/lint ./cmd/predtrace
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client ./internal/flight ./internal/lint ./internal/traffic ./cmd/predtrace
 	$(GO) run ./cmd/covergate -profile cover.out \
 		internal/serve=85 internal/eval=88 internal/fault=95 internal/client=72 \
-		internal/flight=85 internal/lint=85 cmd/predtrace=80 \
+		internal/flight=85 internal/lint=85 internal/traffic=85 cmd/predtrace=80 \
 		internal/serve/wire.go=85 \
 		internal/lint/check_guardedby.go=85 internal/lint/check_atomiconly.go=85 \
 		internal/lint/check_goroutineown.go=90 internal/lint/check_staleignore.go=90

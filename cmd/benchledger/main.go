@@ -10,9 +10,13 @@
 //	go test -run='^$' -bench='BenchmarkServe(JSON|Wire)' -benchmem . ./internal/serve \
 //	    | benchledger -out BENCH_predserve.json
 //	benchledger -check BENCH_predserve.json
+//	benchledger -check BENCH_predload.json
 //
-// -check exits non-zero unless the file matches the predserve-bench/v2
-// schema; CI runs it so a hand-edited or stale ledger fails the build.
+// -check sniffs the file's schema field and validates against it:
+// predserve-bench/v2 (the bench ledger this command writes) or
+// predload-slo/v1 (the SLO report predload writes). It exits non-zero
+// on a mismatch; CI runs it so a hand-edited or stale ledger fails the
+// build.
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"cohpredict/internal/traffic"
 )
 
 // Schema is the ledger format identifier -check validates against. v2
@@ -212,11 +218,21 @@ func pick(byName map[string]*Bench, names ...string) float64 {
 }
 
 // validate is the -check mode: the CI schema gate over a committed
-// ledger.
+// ledger. The schema field picks the document shape — bench ledger or
+// predload SLO report.
 func validate(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("%s: not a JSON ledger: %w", path, err)
+	}
+	if head.Schema == traffic.SLOSchema {
+		return validateSLO(path, data)
 	}
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
@@ -275,5 +291,22 @@ func validate(path string) error {
 		return fmt.Errorf("%s fails the %s schema:\n  %s", path, Schema, strings.Join(problems, "\n  "))
 	}
 	fmt.Printf("benchledger: %s ok (%d benches, %.1fx wire speedup)\n", path, len(l.Benches), l.Summary.Speedup)
+	return nil
+}
+
+// validateSLO checks a predload-slo/v1 document: strict field set, then
+// the report's own invariants.
+func validateSLO(path string, data []byte) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var r traffic.Report
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("%s: not a valid %s report: %w", path, traffic.SLOSchema, err)
+	}
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("benchledger: %s ok (%s/%s, %.0f ev/s, %d/%d requests ok)\n",
+		path, r.Arrival, r.Transport, r.EventsPerSec, r.OK, r.Requests)
 	return nil
 }

@@ -1,0 +1,198 @@
+// Command predload is the open-loop production traffic generator for
+// predserve (internal/traffic): seeded arrival processes (Poisson,
+// bursty, diurnal) drive a configurable session/event-mix workload at a
+// live server, requests firing at their scheduled instants whether or
+// not earlier responses have returned, and the run distills into an SLO
+// report — achieved events/sec, client- and server-side p50/p99, and
+// 429/503 rates — written as a predload-slo/v1 ledger document that
+// `benchledger -check` validates.
+//
+//	predload -target http://localhost:8091 -rate 500 -duration 10s
+//	predload -arrival bursty -mix em3d:2,ocean:1 -transport wire
+//	predload -demo -out BENCH_predload.json   # self-contained loopback run
+//	predload -replay run.cohtrace -replay-shards 8
+//
+// -replay switches modes entirely: instead of generating load, predload
+// plays a COHTRACE1 file (captured by `predserve -record`) back at the
+// server — same sessions, same batching, same request IDs, in recorded
+// order — and prints each replayed session's confusion summary. The
+// served predictions are byte-identical to the recorded run at any
+// shard count.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"cohpredict/internal/obs"
+	"cohpredict/internal/serve"
+	"cohpredict/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "predload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		target   = flag.String("target", "http://localhost:8091", "base URL of the predserve instance to drive")
+		rate     = flag.Float64("rate", traffic.DefaultRate, "target request rate, requests/sec")
+		duration = flag.Duration("duration", 10*time.Second, "schedule horizon")
+		arrival  = flag.String("arrival", traffic.ArrivalPoisson, "arrival process: poisson, bursty, or diurnal")
+		sessions = flag.Int("sessions", traffic.DefaultSessions, "concurrent sessions to drive")
+		sessEvs  = flag.Int("session-events", traffic.DefaultSessionEvents, "session lifetime, in events")
+		batch    = flag.Int("batch", traffic.DefaultBatch, "events per request")
+		mixS     = flag.String("mix", traffic.DefaultMix, "weighted workload event mix, e.g. em3d:2,ocean:1")
+		scheme   = flag.String("scheme", traffic.DefaultScheme, "predictor scheme for every session")
+		shards   = flag.Int("shards", 0, "shard count to request per session (0 = server default)")
+		transp   = flag.String("transport", "wire", "event-post transport: wire or json")
+		seed     = flag.Int64("seed", 42, "seed for the arrival schedule and workload draws")
+		out      = flag.String("out", "", "write the predload-slo/v1 report to this JSON file")
+		demo     = flag.Bool("demo", false, "ignore -target: start an in-process loopback server, drive it, and exit")
+		replayF  = flag.String("replay", "", "replay this COHTRACE1 file instead of generating load")
+		replayS  = flag.Int("replay-shards", 0, "override recorded shard counts during replay (0 = as recorded)")
+		paced    = flag.Bool("paced", false, "replay at recorded arrival offsets instead of full speed")
+		version  = flag.Bool("version", false, "print version and build identity, then exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("predload", obs.Version())
+		return nil
+	}
+
+	var binary bool
+	switch *transp {
+	case "wire":
+		binary = true
+	case "json":
+	default:
+		return fmt.Errorf("unknown transport %q (want wire or json)", *transp)
+	}
+
+	base := *target
+	var snapshot func() obs.Snapshot
+	if *demo {
+		reg := obs.New()
+		srv := serve.NewServer(serve.Options{Registry: reg})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "predload: demo server:", err)
+			}
+		}()
+		defer func() {
+			_ = httpSrv.Close()
+			srv.Shutdown()
+		}()
+		base = "http://" + ln.Addr().String()
+		snapshot = reg.Snapshot
+		if *duration == 10*time.Second {
+			*duration = 2 * time.Second // demo default: a quick smoke
+		}
+		fmt.Printf("predload: demo server on %s\n", base)
+	}
+
+	if *replayF != "" {
+		return runReplay(*replayF, base, binary, *replayS, *seed, *paced)
+	}
+
+	mix, err := traffic.ParseMix(*mixS)
+	if err != nil {
+		return err
+	}
+	plan, err := traffic.BuildPlan(traffic.GenConfig{
+		Seed:          *seed,
+		Arrival:       *arrival,
+		Rate:          *rate,
+		Duration:      *duration,
+		Sessions:      *sessions,
+		SessionEvents: *sessEvs,
+		Batch:         *batch,
+		Mix:           mix,
+		Scheme:        *scheme,
+		Shards:        *shards,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predload: %s arrivals at %.0f req/s over %v: %d sessions, %d requests, %d events\n",
+		plan.Arrival, plan.Rate, *duration, len(plan.Sessions), len(plan.Requests), plan.Events())
+
+	rep, err := traffic.Run(plan, traffic.RunOptions{
+		BaseURL:    base,
+		Binary:     binary,
+		Snapshot:   snapshot,
+		MetricsURL: base + "/metrics",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predload: %d/%d requests ok, %.0f events/sec, client p50 %.2fms p99 %.2fms, 429s %.1f%% 503s %.1f%%\n",
+		rep.OK, rep.Requests, rep.EventsPerSec, rep.ClientP50Ms, rep.ClientP99Ms,
+		100*rep.Rate429, 100*rep.Rate503)
+	if rep.ServerP50Ms > 0 || rep.ServerP99Ms > 0 {
+		fmt.Printf("predload: server p50 %.2fms p99 %.2fms\n", rep.ServerP50Ms, rep.ServerP99Ms)
+	}
+	if rep.OK == 0 {
+		return fmt.Errorf("no request succeeded (server down, or every post rejected)")
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("predload: wrote %s\n", *out)
+	}
+	return nil
+}
+
+// runReplay plays a recorded trace back at the server and prints each
+// replayed session's confusion summary.
+func runReplay(path, base string, binary bool, shards int, seed int64, paced bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recs, err := traffic.DecodeTraceFile(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	res, err := traffic.Replay(recs, traffic.ReplayOptions{
+		BaseURL: base,
+		Binary:  binary,
+		Shards:  shards,
+		Seed:    seed,
+		Paced:   paced,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predload: replayed %s: %d sessions, %d requests, %d events\n",
+		path, len(res.Sessions), res.Requests, res.Events)
+	for i := range res.Sessions {
+		s := &res.Sessions[i]
+		st := s.Stats
+		fmt.Printf("  session %d (%s, %s): events=%d tp=%d fp=%d tn=%d fn=%d sensitivity=%.4f pvp=%.4f\n",
+			i, s.ID, s.Scheme, st.Events, st.TP, st.FP, st.TN, st.FN, st.Sensitivity, st.PVP)
+	}
+	return nil
+}

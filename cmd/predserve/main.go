@@ -34,6 +34,7 @@ import (
 	"cohpredict/internal/flight"
 	"cohpredict/internal/obs"
 	"cohpredict/internal/serve"
+	"cohpredict/internal/traffic"
 )
 
 // restoreSpec is one -restore flag value: boot the server with this
@@ -56,6 +57,7 @@ func run() error {
 		logS    = flag.String("log", "info", "log level: quiet, info, debug")
 		shards  = flag.Int("shards", 0, "default shard count for sessions that don't request one (0 = min(cores, 8)); results are identical at any value")
 		obsOut  = flag.String("obs", "", "write the final observability snapshot to this JSON file on shutdown")
+		record  = flag.String("record", "", "capture the accepted event stream to this COHTRACE1 file on shutdown (predload -replay plays it back)")
 		demo    = flag.Bool("demo", false, "start on a loopback port, run a scripted session against the API, print the stats, and exit")
 		version = flag.Bool("version", false, "print version and build identity, then exit")
 
@@ -116,7 +118,7 @@ func run() error {
 	}
 	reg.SetManifest(manifest)
 
-	srv := serve.NewServer(serve.Options{
+	opts := serve.Options{
 		Registry:      reg,
 		Log:           logger,
 		DefaultShards: *shards,
@@ -126,7 +128,25 @@ func run() error {
 			Sample:        *traceSample,
 			SlowThreshold: *slowThresh,
 		}),
-	})
+	}
+	var rec *traffic.Recorder
+	if *record != "" {
+		rec = traffic.NewRecorder()
+		opts.Record = rec
+		logger.Infof("predserve: recording accepted events to %s", *record)
+	}
+	srv := serve.NewServer(opts)
+	writeRecord := func() error {
+		if rec == nil {
+			return nil
+		}
+		if err := os.WriteFile(*record, rec.Bytes(), 0o644); err != nil {
+			return err
+		}
+		logger.Infof("predserve: wrote %s (%d records, %d batches skipped)",
+			*record, rec.Records(), rec.Skipped())
+		return nil
+	}
 
 	for _, rs := range restores {
 		data, err := os.ReadFile(rs.path)
@@ -145,7 +165,10 @@ func run() error {
 	}
 
 	if *demo {
-		return runDemo(srv, logger)
+		if err := runDemo(srv, logger); err != nil {
+			return err
+		}
+		return writeRecord()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -175,6 +198,9 @@ func run() error {
 		return err
 	}
 	srv.Shutdown()
+	if err := writeRecord(); err != nil {
+		return err
+	}
 
 	if *obsOut != "" {
 		data, err := reg.SnapshotJSON()

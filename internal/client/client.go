@@ -392,10 +392,17 @@ func (c *Client) PostEvents(id string, evs []serve.EventRequest) ([]uint64, erro
 // not speak the format downgrades the whole client to JSON — once, not
 // per request — so every later batch skips the doomed attempt.
 func (c *Client) PostEventsKeyed(id, key string, evs []serve.EventRequest) ([]uint64, error) {
-	path := "/v1/sessions/" + id + "/events"
 	// One id per logical post: it survives every retry AND the one-way
 	// wire→JSON downgrade, so the whole saga is one thread server-side.
-	reqID := c.nextRequestID()
+	return c.PostEventsKeyedID(id, key, c.nextRequestID(), evs)
+}
+
+// PostEventsKeyedID is PostEventsKeyed under a caller-chosen request ID
+// as well. Trace replay uses it to resend a recorded stream with its
+// original request IDs, so a replayed run is indistinguishable from the
+// recorded one in the server's flight recorder.
+func (c *Client) PostEventsKeyedID(id, key, reqID string, evs []serve.EventRequest) ([]uint64, error) {
+	path := "/v1/sessions/" + id + "/events"
 	if c.binary.Load() {
 		preds, err := c.postEventsWire(path, key, reqID, evs)
 		var ae *APIError

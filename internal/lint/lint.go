@@ -138,7 +138,8 @@ func DefaultConfig(root, modulePath string) *Config {
 		ModulePath: modulePath,
 		DeterministicPkgs: internal("bitmap", "trace", "cache", "machine", "eval",
 			"search", "metrics", "workload", "topology", "online", "cosmos",
-			"report", "experiments", "serve", "fault", "client", "flight"),
+			"report", "experiments", "serve", "fault", "client", "flight",
+			"traffic"),
 		DeterminismSkipFiles: []string{"bench.go"},
 		ClockAllowlist: map[string]bool{
 			// The sweep engine times tasks and worker busy-ns for the obs
@@ -177,6 +178,13 @@ func DefaultConfig(root, modulePath string) *Config {
 			// micro-batch loop: atomics only, zero allocation.
 			modulePath + "/internal/flight.Record.NoteBatch",
 			modulePath + "/internal/flight.Record.MarkFault",
+			// The COHTRACE1 recording kernels run on the serve layer's
+			// accepted path (once per trained batch): append-only into one
+			// warmed buffer, zero steady-state allocation.
+			modulePath + "/internal/traffic.Recorder.RecordEvents",
+			modulePath + "/internal/traffic.appendUvarint",
+			modulePath + "/internal/traffic.appendTraceEvent",
+			modulePath + "/internal/traffic.appendRequestRecord",
 		},
 	}
 }

@@ -1,0 +1,22 @@
+package serve
+
+// The recording seam. The serve layer cannot import internal/traffic
+// (traffic drives serve), so the COHTRACE1 recorder arrives through this
+// interface: *traffic.Recorder satisfies it, and the serve layer calls
+// it at exactly the two points that define a reproducible stream — a
+// session coming live, and a batch being accepted for training.
+
+import "cohpredict/internal/trace"
+
+// EventRecorder captures the accepted event stream for later replay.
+// Implementations must be safe for concurrent use and must not retain
+// the event slice past the call — it aliases a pooled request buffer.
+//
+// RecordEvents is invoked only for batches that actually train the
+// engine: an idempotent replay served from the cache never reaches it,
+// so a recorded trace holds each logical batch exactly once no matter
+// how many times a resilient client retried it.
+type EventRecorder interface {
+	RecordSession(id, scheme string, nodes, lineBytes, shards int)
+	RecordEvents(sessionID, requestID string, evs []trace.Event)
+}

@@ -71,6 +71,11 @@ type Options struct {
 	// builds a default one (sample 1/64, 25ms slow threshold) against
 	// Registry. Captures are served at /v1/debug/{requests,slow}.
 	Flight *flight.Recorder
+	// Record, when non-nil, captures the accepted event stream (every
+	// session create and every batch that trains the engine) for
+	// COHTRACE1 replay. Off by default; the predserve -record flag and
+	// the record/replay tests turn it on.
+	Record EventRecorder
 }
 
 // Server is the prediction service: a registry of live sessions plus the
@@ -306,6 +311,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) err
 		return httpErr(http.StatusBadRequest, err)
 	}
 	cfg.Fault = s.opts.Fault
+	cfg.Record = s.opts.Record
 
 	s.mu.Lock()
 	if s.draining {
@@ -330,6 +336,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) err
 
 	s.om.sessionsTotal.Inc()
 	s.om.sessionsActive.Set(float64(active))
+	if s.opts.Record != nil {
+		s.opts.Record.RecordSession(id, sess.cfg.Scheme.FullString(),
+			sess.cfg.Machine.Nodes, sess.cfg.Machine.LineBytes, sess.cfg.Shards)
+	}
 	s.opts.Log.Infof("serve: session %s created: %s on %d nodes, %d shards",
 		id, sess.cfg.Scheme.FullString(), sess.cfg.Machine.Nodes, sess.cfg.Shards)
 	writeJSON(w, http.StatusCreated, sessionResponse(sess))
@@ -586,7 +596,7 @@ func (s *Server) RestoreSnapshot(id string, snap *eval.Snapshot, tune *SessionTu
 		return nil, httpErr(http.StatusTooManyRequests,
 			fmt.Errorf("serve: session limit %d reached", s.opts.MaxSessions))
 	}
-	sess, err := NewSessionFromSnapshot(id, snap, tune, s.opts.Fault, s.om)
+	sess, err := NewSessionFromSnapshot(id, snap, tune, s.opts.Fault, s.opts.Record, s.om)
 	if err != nil {
 		s.mu.Unlock()
 		return nil, httpErr(http.StatusBadRequest, err)
@@ -601,6 +611,10 @@ func (s *Server) RestoreSnapshot(id string, snap *eval.Snapshot, tune *SessionTu
 
 	s.om.sessionsTotal.Inc()
 	s.om.sessionsActive.Set(float64(active))
+	if s.opts.Record != nil {
+		s.opts.Record.RecordSession(id, sess.cfg.Scheme.FullString(),
+			sess.cfg.Machine.Nodes, sess.cfg.Machine.LineBytes, sess.cfg.Shards)
+	}
 	s.opts.Log.Infof("serve: session %s restored: %d events, %d entries, %d shards",
 		id, snap.Events, len(snap.Entries), sess.cfg.Shards)
 	return sess, nil

@@ -74,6 +74,10 @@ type SessionConfig struct {
 	// Fault, when non-nil, injects chaos at the session's fault points
 	// (queue-admission drops, shard delays and panics).
 	Fault *fault.Injector
+	// Record, when non-nil, captures every batch that trains the engine
+	// (after the shards finish, before the response) for COHTRACE1
+	// replay. Idempotent cache replays never reach it.
+	Record EventRecorder
 }
 
 func (c *SessionConfig) fillDefaults() error {
@@ -278,7 +282,16 @@ func (s *Session) PostIntoStamped(evs []trace.Event, preds []bitmap.Bitmap, st *
 		sh.in <- op{ev: ev, out: &preds[i], wg: &wg, st: st}
 	}
 	wg.Wait()
-	return s.shardErr()
+	if err := s.shardErr(); err != nil {
+		return err
+	}
+	// Record only after the shards trained cleanly: a failed post is
+	// retried by the client and would otherwise appear twice in the
+	// trace. evs is not retained past this call (recorder contract).
+	if s.cfg.Record != nil {
+		s.cfg.Record.RecordEvents(s.ID, st.ID(), evs)
+	}
+	return nil
 }
 
 // PostKeyed is Post with an idempotency key: the first arrival of a key
@@ -492,7 +505,7 @@ func (s *Session) Snapshot() (*eval.Snapshot, error) {
 // different shard count is legal and preserves byte-identical behaviour
 // (the router partitions the restored keys exactly as it would have
 // partitioned the events that created them).
-func NewSessionFromSnapshot(id string, snap *eval.Snapshot, tune *SessionTuning, flt *fault.Injector, om *serveMetrics) (*Session, error) {
+func NewSessionFromSnapshot(id string, snap *eval.Snapshot, tune *SessionTuning, flt *fault.Injector, rec EventRecorder, om *serveMetrics) (*Session, error) {
 	extra, err := decodeSessionExtra(snap.Extra)
 	if err != nil {
 		return nil, err
@@ -508,6 +521,7 @@ func NewSessionFromSnapshot(id string, snap *eval.Snapshot, tune *SessionTuning,
 		Flush:      tune.Flush,
 		MaxPending: tune.MaxPending,
 		Fault:      flt,
+		Record:     rec,
 	}
 	s, err := NewSession(id, cfg, om)
 	if err != nil {

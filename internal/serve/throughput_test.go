@@ -8,6 +8,7 @@ import (
 	"cohpredict/internal/flight"
 	"cohpredict/internal/obs"
 	"cohpredict/internal/serve"
+	"cohpredict/internal/traffic"
 )
 
 // throughputBodies pre-encodes request bodies for the load tests so the
@@ -40,6 +41,13 @@ func wireEncode(evs []serve.EventRequest) []byte {
 // runThroughputFloor replays pre-encoded batches through the events
 // endpoint and fails if the sustained rate drops below floor events/sec.
 func runThroughputFloor(t *testing.T, contentType string, bodies [][]byte, batch int, floor float64) {
+	runThroughputFloorOpts(t, serve.Options{}, contentType, bodies, batch, floor)
+}
+
+// runThroughputFloorOpts is runThroughputFloor against a server built
+// from caller-chosen options (the recorded-throughput floor passes a
+// COHTRACE1 recorder here).
+func runThroughputFloorOpts(t *testing.T, opts serve.Options, contentType string, bodies [][]byte, batch int, floor float64) {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("skipping load test in short mode")
@@ -48,7 +56,7 @@ func runThroughputFloor(t *testing.T, contentType string, bodies [][]byte, batch
 		t.Skip("skipping load test under the race detector")
 	}
 
-	srv := serve.NewServer(serve.Options{})
+	srv := serve.NewServer(opts)
 	defer srv.Shutdown()
 	c, closeTS := newClient(t, srv)
 	defer closeTS()
@@ -102,6 +110,23 @@ func TestThroughputFloorWire(t *testing.T) {
 	const batch = 4096
 	runThroughputFloor(t, serve.ContentTypeWire,
 		throughputBodies(t, batch, 4, wireEncode), batch, 500_000)
+}
+
+// TestThroughputFloorWireRecorded re-runs the binary floor with a
+// COHTRACE1 recorder attached: capturing the accepted event stream must
+// not cost the wire path its 500k events/sec floor. The captured trace
+// is then decoded to prove the high-rate recording stayed well-formed.
+func TestThroughputFloorWireRecorded(t *testing.T) {
+	const batch = 4096
+	rec := traffic.NewRecorder()
+	runThroughputFloorOpts(t, serve.Options{Record: rec}, serve.ContentTypeWire,
+		throughputBodies(t, batch, 4, wireEncode), batch, 500_000)
+	if rec.Records() < 2 { // the session plus at least the warm-up batch
+		t.Fatalf("recorder captured %d records during the floor run", rec.Records())
+	}
+	if _, err := traffic.DecodeTraceFile(rec.Bytes()); err != nil {
+		t.Fatalf("trace recorded at full wire rate does not decode: %v", err)
+	}
 }
 
 // benchServeHTTP measures the end-to-end events/sec of one transport

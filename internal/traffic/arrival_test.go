@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+// draw produces the first n arrival offsets of a process.
+func draw(t *testing.T, kind string, rate float64, seed int64, n int) []int64 {
+	t.Helper()
+	a, err := NewArrivals(kind, rate, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = a.Next()
+	}
+	return out
+}
+
+var arrivalKinds = []string{ArrivalPoisson, ArrivalBursty, ArrivalDiurnal}
+
+// TestArrivalsDeterministic pins the seeding contract: equal
+// (kind, rate, seed) triples emit byte-identical schedules, and a
+// different seed diverges.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, kind := range arrivalKinds {
+		a := draw(t, kind, 500, 7, 2000)
+		b := draw(t, kind, 500, 7, 2000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: schedules diverge at %d: %d vs %d", kind, i, a[i], b[i])
+			}
+		}
+		c := draw(t, kind, 500, 8, 2000)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 7 and 8 generated the same schedule", kind)
+		}
+	}
+}
+
+// TestArrivalsMonotonic pins the codec-facing invariant: offsets never
+// decrease (COHTRACE1 rejects a decreasing arrival sequence).
+func TestArrivalsMonotonic(t *testing.T) {
+	for _, kind := range arrivalKinds {
+		offs := draw(t, kind, 2000, 3, 5000)
+		for i := 1; i < len(offs); i++ {
+			if offs[i] < offs[i-1] {
+				t.Fatalf("%s: arrival %d decreases: %d after %d", kind, i, offs[i], offs[i-1])
+			}
+		}
+		if offs[0] < 0 {
+			t.Fatalf("%s: negative first arrival %d", kind, offs[0])
+		}
+	}
+}
+
+// TestArrivalsMeanRate checks each process's empirical long-run rate
+// against the configured one. Every process averages to the target —
+// bursty and diurnal modulate around it by construction — so over a
+// large sample the mean inter-arrival must land within a few percent of
+// 1/rate. Deterministic seeds, virtual time only: no flakes.
+func TestArrivalsMeanRate(t *testing.T) {
+	const (
+		rate = 1000.0 // arrivals/sec
+		n    = 200000
+	)
+	for _, kind := range arrivalKinds {
+		offs := draw(t, kind, rate, 12345, n)
+		elapsedSec := float64(offs[n-1]) / 1e9
+		got := float64(n) / elapsedSec
+		if rel := math.Abs(got-rate) / rate; rel > 0.05 {
+			t.Errorf("%s: empirical rate %.1f/s vs configured %.1f/s (%.1f%% off)",
+				kind, got, rate, 100*rel)
+		}
+	}
+}
+
+// TestArrivalsPoissonCV checks the Poisson process's shape, not just its
+// mean: exponential inter-arrivals have coefficient of variation 1.
+func TestArrivalsPoissonCV(t *testing.T) {
+	const n = 100000
+	offs := draw(t, ArrivalPoisson, 1000, 99, n)
+	var sum, sumSq float64
+	prev := int64(0)
+	for _, o := range offs {
+		d := float64(o - prev)
+		sum += d
+		sumSq += d * d
+		prev = o
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if cv := sd / mean; cv < 0.95 || cv > 1.05 {
+		t.Errorf("poisson inter-arrival CV %.3f, want ~1", cv)
+	}
+}
+
+// TestArrivalsBurstyBurstier pins what bursty buys: more short-run
+// variance than poisson at the same long-run rate (CV of inter-arrivals
+// well above 1).
+func TestArrivalsBurstyBurstier(t *testing.T) {
+	const n = 100000
+	offs := draw(t, ArrivalBursty, 1000, 99, n)
+	var sum, sumSq float64
+	prev := int64(0)
+	for _, o := range offs {
+		d := float64(o - prev)
+		sum += d
+		sumSq += d * d
+		prev = o
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if cv := sd / mean; cv < 1.1 {
+		t.Errorf("bursty inter-arrival CV %.3f, want > 1.1 (burstier than poisson)", cv)
+	}
+}
+
+// TestArrivalsDiurnalModulates pins the sinusoidal profile: the busiest
+// quarter-period must see materially more arrivals than the quietest.
+func TestArrivalsDiurnalModulates(t *testing.T) {
+	const n = 100000
+	offs := draw(t, ArrivalDiurnal, 2000, 4, n)
+	quarter := int64(diurnalPeriodNS) / 4
+	counts := make(map[int64]int)
+	for _, o := range offs {
+		counts[(o%int64(diurnalPeriodNS))/quarter]++
+	}
+	min, max := n, 0
+	for q := int64(0); q < 4; q++ {
+		if c := counts[q]; c < min {
+			min = c
+		}
+		if c := counts[q]; c > max {
+			max = c
+		}
+	}
+	if float64(max) < 1.5*float64(min) {
+		t.Errorf("diurnal quarters barely differ: min %d max %d", min, max)
+	}
+}
+
+func TestArrivalsRejectsBadConfig(t *testing.T) {
+	if _, err := NewArrivals(ArrivalPoisson, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewArrivals(ArrivalPoisson, -5, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewArrivals("weibull", 100, 1); err == nil {
+		t.Error("unknown process accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeTraceFile drives the COHTRACE1 file decoder with arbitrary
+// bytes: it must never panic, and — the canonicality contract — any
+// accepted input must re-encode byte for byte, so no two encodings of a
+// trace are ever both accepted.
+func FuzzDecodeTraceFile(f *testing.F) {
+	f.Add(EncodeTraceFile(nil))
+	f.Add(EncodeTraceFile(sampleRecords()))
+	f.Add(EncodeTraceFile(sampleRecords()[:1]))
+	f.Add([]byte(traceMagic))
+	f.Add([]byte(traceMagic + "\x80\x00")) // non-minimal count
+	f.Add([]byte(traceMagic + "\x01\x03")) // unknown kind
+	f.Add([]byte("no magic at all"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeTraceFile(data)
+		if err != nil {
+			return
+		}
+		if again := EncodeTraceFile(recs); !bytes.Equal(again, data) {
+			t.Fatalf("accepted file is not canonical: re-encode differs\n in: %x\nout: %x", data, again)
+		}
+	})
+}
+
+// FuzzDecodeTraceRecord is the same contract one record at a time, plus
+// the consumed-byte accounting: a record decoded from the front of a
+// longer buffer must re-encode to exactly the bytes it consumed.
+func FuzzDecodeTraceRecord(f *testing.F) {
+	for _, rec := range sampleRecords() {
+		f.Add(AppendTraceRecord(nil, &rec))
+	}
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0, 0, 0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeTraceRecord(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("accepted record consumed %d of %d bytes", n, len(data))
+		}
+		if again := AppendTraceRecord(nil, &rec); !bytes.Equal(again, data[:n]) {
+			t.Fatalf("accepted record is not canonical: re-encode differs\n in: %x\nout: %x", data[:n], again)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testGenConfig() GenConfig {
+	mix, err := ParseMix(DefaultMix)
+	if err != nil {
+		panic(err)
+	}
+	return GenConfig{
+		Seed:          42,
+		Arrival:       ArrivalPoisson,
+		Rate:          5000,
+		Duration:      500 * time.Millisecond,
+		Sessions:      3,
+		SessionEvents: 512,
+		Batch:         DefaultBatch,
+		Mix:           mix,
+		Scheme:        DefaultScheme,
+	}
+}
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	a, err := BuildPlan(testGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(testGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal configs built different plans")
+	}
+	cfg := testGenConfig()
+	cfg.Seed = 43
+	c, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Requests, c.Requests) {
+		t.Fatal("different seeds built identical schedules")
+	}
+}
+
+func TestBuildPlanShape(t *testing.T) {
+	plan, err := BuildPlan(testGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Sessions) != 3 {
+		t.Fatalf("%d sessions, want 3", len(plan.Sessions))
+	}
+	// 5000 req/s over 500ms comfortably covers 3 sessions × 8 batches,
+	// so every session's full lifetime is scheduled.
+	if got, want := plan.Events(), 3*512; got != want {
+		t.Fatalf("%d events scheduled, want %d", got, want)
+	}
+	var last int64
+	perSession := make(map[int]int)
+	for _, req := range plan.Requests {
+		if req.ArrivalNS < last {
+			t.Fatal("schedule is not in arrival order")
+		}
+		last = req.ArrivalNS
+		if len(req.Events) == 0 || len(req.Events) > DefaultBatch {
+			t.Fatalf("request batch size %d out of range", len(req.Events))
+		}
+		perSession[req.Session]++
+	}
+	for s := 0; s < 3; s++ {
+		if perSession[s] != 8 { // 512 events / 64 batch
+			t.Fatalf("session %d got %d requests, want 8", s, perSession[s])
+		}
+	}
+	for _, ps := range plan.Sessions {
+		if ps.Nodes != 16 || ps.Scheme != DefaultScheme {
+			t.Fatalf("unexpected session config %+v", ps)
+		}
+	}
+}
+
+func TestBuildPlanHonorsHorizon(t *testing.T) {
+	cfg := testGenConfig()
+	cfg.Rate = 10 // 10 req/s over 500ms: ~5 requests, far short of the work
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(plan.Requests); n >= 24 {
+		t.Fatalf("%d requests scheduled; the horizon should have cut the plan short", n)
+	}
+	horizon := cfg.Duration.Nanoseconds()
+	for _, req := range plan.Requests {
+		if req.ArrivalNS > horizon {
+			t.Fatalf("request at %dns beyond the %dns horizon", req.ArrivalNS, horizon)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("em3d:2,ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].Weight != 2 || mix[1].Weight != 1 {
+		t.Fatalf("unexpected mix %+v", mix)
+	}
+	for _, bad := range []string{"", "nosuchworkload:1", "em3d:-1", "em3d:x", "em3d:0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildPlanRejectsBadConfig(t *testing.T) {
+	for _, mut := range []func(*GenConfig){
+		func(c *GenConfig) { c.Sessions = 0 },
+		func(c *GenConfig) { c.Batch = 0 },
+		func(c *GenConfig) { c.SessionEvents = 0 },
+		func(c *GenConfig) { c.Duration = 0 },
+		func(c *GenConfig) { c.Mix = nil },
+		func(c *GenConfig) { c.Arrival = "weibull" },
+		func(c *GenConfig) { c.Rate = 0 },
+	} {
+		cfg := testGenConfig()
+		mut(&cfg)
+		if _, err := BuildPlan(cfg); err == nil {
+			t.Errorf("BuildPlan accepted bad config %+v", cfg)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package traffic
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// -gen-corpus regenerates the committed seed corpus under testdata/fuzz
+// from the same encoders the fuzz targets trust. Run it after a format
+// change:
+//
+//	go test ./internal/traffic -run TestGenerateFuzzCorpus -gen-corpus
+var genCorpus = flag.Bool("gen-corpus", false, "rewrite testdata/fuzz seed corpus files")
+
+func corpusFile(t *testing.T, target, name string, data []byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := "go test fuzz v1\n[]byte(" + strconv.QuoteToASCII(string(data)) + ")\n"
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if !*genCorpus {
+		t.Skip("pass -gen-corpus to rewrite the seed corpus")
+	}
+	corpusFile(t, "FuzzDecodeTraceFile", "empty_file", EncodeTraceFile(nil))
+	corpusFile(t, "FuzzDecodeTraceFile", "sample_file", EncodeTraceFile(sampleRecords()))
+	corpusFile(t, "FuzzDecodeTraceFile", "session_only", EncodeTraceFile(sampleRecords()[:1]))
+	for i, rec := range sampleRecords() {
+		corpusFile(t, "FuzzDecodeTraceRecord", "record_"+strconv.Itoa(i), AppendTraceRecord(nil, &rec))
+	}
+}
+
+// TestFuzzCorpusFresh pins the committed corpus to the current encoding:
+// if a format change moves the bytes, this fails until -gen-corpus is
+// rerun, so the committed seeds never go stale.
+func TestFuzzCorpusFresh(t *testing.T) {
+	want := "go test fuzz v1\n[]byte(" + strconv.QuoteToASCII(string(EncodeTraceFile(sampleRecords()))) + ")\n"
+	got, err := os.ReadFile(filepath.Join("testdata", "fuzz", "FuzzDecodeTraceFile", "sample_file"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatal("committed fuzz corpus is stale; rerun with -gen-corpus")
+	}
+}

@@ -1,0 +1,76 @@
+package traffic
+
+// A minimal reader for the one Prometheus text shape this package
+// needs: reconstructing a histogram snapshot from the _bucket/_sum/
+// _count lines obs.WritePrometheus emits, so predload can report
+// server-side latency quantiles when it only has /metrics to go on.
+
+import (
+	"bufio"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cohpredict/internal/obs"
+)
+
+// parsePromHistogram extracts the named histogram from Prometheus text
+// exposition. Returns ok=false when no sample of the histogram appears.
+func parsePromHistogram(text, name string) (obs.HistogramSnapshot, bool) {
+	var h obs.HistogramSnapshot
+	found := false
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		switch {
+		case strings.HasPrefix(rest, `_bucket{le="`):
+			body := rest[len(`_bucket{le="`):]
+			le, tail, ok := strings.Cut(body, `"} `)
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseInt(strings.TrimSpace(tail), 10, 64)
+			if err != nil {
+				continue
+			}
+			h.Buckets = append(h.Buckets, obs.BucketCount{LE: le, Count: n})
+			found = true
+		case strings.HasPrefix(rest, "_sum "):
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest[len("_sum "):]), 64)
+			if err == nil {
+				h.Sum = v
+				found = true
+			}
+		case strings.HasPrefix(rest, "_count "):
+			n, err := strconv.ParseInt(strings.TrimSpace(rest[len("_count "):]), 10, 64)
+			if err == nil {
+				h.Count = n
+				found = true
+			}
+		}
+	}
+	return h, found
+}
+
+// scrapePromHistogram fetches a /metrics endpoint and parses the named
+// histogram out of it. Best-effort: any failure reports ok=false.
+func scrapePromHistogram(url, name string) (obs.HistogramSnapshot, bool) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return obs.HistogramSnapshot{}, false
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return parsePromHistogram(sb.String(), name)
+}
