@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-self lint-timed test race race-hammer bench build obs-demo serve-demo chaos-demo trace-demo load-demo fuzz-smoke cover bench-ledger throughput-smoke
+.PHONY: check vet lint lint-self lint-timed test race race-hammer bench build obs-demo serve-demo chaos-demo trace-demo load-demo cluster-demo fuzz-smoke cover bench-ledger throughput-smoke
 
 check: vet lint race
 
@@ -90,10 +90,21 @@ load-demo:
 	$(GO) run ./cmd/predload -demo -out BENCH_predload.json
 	$(GO) run ./cmd/benchledger -check BENCH_predload.json
 
+# Cluster demo: the self-contained predroute walkthrough (3 backends +
+# standby in-process; live migration under load, a mid-stream kill with
+# standby failover, served predictions verified byte-identical against
+# the fault-free offline engine), then the capacity-planning mode over
+# an in-process cluster, its predload-cluster/v1 ledger re-validated.
+cluster-demo:
+	$(GO) run ./cmd/predroute -demo
+	$(GO) run ./cmd/predload -demo -cluster -out BENCH_cluster.json
+	$(GO) run ./cmd/benchledger -check BENCH_cluster.json
+
 # Short native-fuzzing pass over the serialized attack surfaces: the JSON
 # event decoder, the COHWIRE1 batch/reply decoders (plus the JSON↔binary
 # cross-equivalence property), the shard router's co-location invariants,
-# the engine-checkpoint wire decoder, and the COHTRACE1 trace decoders.
+# the engine-checkpoint wire decoder, the COHTRACE1 trace decoders, and
+# the cluster control-plane codecs.
 fuzz-smoke:
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDecodeEventRequest -fuzztime=10s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzDecodeWireBatch -fuzztime=10s
@@ -103,12 +114,16 @@ fuzz-smoke:
 	$(GO) test ./internal/eval -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=10s
 	$(GO) test ./internal/traffic -run='^$$' -fuzz=FuzzDecodeTraceFile -fuzztime=10s
 	$(GO) test ./internal/traffic -run='^$$' -fuzz=FuzzDecodeTraceRecord -fuzztime=10s
+	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzDecodeMigrateRequest -fuzztime=10s
+	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzDecodeClusterStatus -fuzztime=10s
 
 # Regenerate the committed benchmark ledger: the transport comparison
 # (codec-level halves from the repo root, end-to-end HTTP pair from
-# internal/serve) distilled into BENCH_predserve.json, then re-validated.
+# internal/serve, the routed counterpart from internal/cluster whose
+# delta against BenchmarkServeWire/http is the router's overhead)
+# distilled into BENCH_predserve.json, then re-validated.
 bench-ledger:
-	$(GO) test -run='^$$' -bench='BenchmarkServe(JSON|Wire)' -benchmem . ./internal/serve \
+	$(GO) test -run='^$$' -bench='BenchmarkServe(JSON|Wire)' -benchmem . ./internal/serve ./internal/cluster \
 		| $(GO) run ./cmd/benchledger -out BENCH_predserve.json
 	$(GO) run ./cmd/benchledger -check BENCH_predserve.json
 
@@ -121,10 +136,10 @@ throughput-smoke:
 # below measured coverage, so a change that lands a chunk of untested code
 # in the serving/eval/fault/client layers fails the build.
 cover:
-	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client ./internal/flight ./internal/lint ./internal/traffic ./cmd/predtrace
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/serve ./internal/eval ./internal/fault ./internal/client ./internal/flight ./internal/lint ./internal/traffic ./internal/cluster ./cmd/predtrace
 	$(GO) run ./cmd/covergate -profile cover.out \
 		internal/serve=85 internal/eval=88 internal/fault=95 internal/client=72 \
-		internal/flight=85 internal/lint=85 internal/traffic=85 cmd/predtrace=80 \
+		internal/flight=85 internal/lint=85 internal/traffic=85 internal/cluster=85 cmd/predtrace=80 \
 		internal/serve/wire.go=85 \
 		internal/lint/check_guardedby.go=85 internal/lint/check_atomiconly.go=85 \
 		internal/lint/check_goroutineown.go=90 internal/lint/check_staleignore.go=90

@@ -13,10 +13,11 @@
 //	benchledger -check BENCH_predload.json
 //
 // -check sniffs the file's schema field and validates against it:
-// predserve-bench/v2 (the bench ledger this command writes) or
-// predload-slo/v1 (the SLO report predload writes). It exits non-zero
-// on a mismatch; CI runs it so a hand-edited or stale ledger fails the
-// build.
+// predserve-bench/v2 (the bench ledger this command writes),
+// predload-slo/v1 (the SLO report predload writes), or
+// predload-cluster/v1 (the cluster capacity report predload -cluster
+// writes). It exits non-zero on a mismatch; CI runs it so a
+// hand-edited or stale ledger fails the build.
 package main
 
 import (
@@ -234,6 +235,9 @@ func validate(path string) error {
 	if head.Schema == traffic.SLOSchema {
 		return validateSLO(path, data)
 	}
+	if head.Schema == traffic.ClusterSchema {
+		return validateCluster(path, data)
+	}
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	var l Ledger
@@ -308,5 +312,26 @@ func validateSLO(path string, data []byte) error {
 	}
 	fmt.Printf("benchledger: %s ok (%s/%s, %.0f ev/s, %d/%d requests ok)\n",
 		path, r.Arrival, r.Transport, r.EventsPerSec, r.OK, r.Requests)
+	return nil
+}
+
+// validateCluster checks a predload-cluster/v1 document: strict field
+// set, then the report's own invariants.
+func validateCluster(path string, data []byte) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var r traffic.ClusterReport
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("%s: not a valid %s report: %w", path, traffic.ClusterSchema, err)
+	}
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	verdict := "holds"
+	if !r.Holds {
+		verdict = "fails: " + r.Reason
+	}
+	fmt.Printf("benchledger: %s ok (%d backends at %.0f req/s, p99 budget %.0fms: %s)\n",
+		path, r.Backends, r.TargetRPS, r.SLOP99Ms, verdict)
 	return nil
 }

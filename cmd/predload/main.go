@@ -11,6 +11,7 @@
 //	predload -arrival bursty -mix em3d:2,ocean:1 -transport wire
 //	predload -demo -out BENCH_predload.json   # self-contained loopback run
 //	predload -replay run.cohtrace -replay-shards 8
+//	predload -cluster -target http://localhost:8090 -slo-p99 50
 //
 // -replay switches modes entirely: instead of generating load, predload
 // plays a COHTRACE1 file (captured by `predserve -record`) back at the
@@ -18,6 +19,14 @@
 // order — and prints each replayed session's confusion summary. The
 // served predictions are byte-identical to the recorded run at any
 // shard count.
+//
+// -cluster is the capacity-planning mode: the target is a predroute
+// router, and the run answers "do these backends hold this rate under
+// the -slo-p99 budget?" with a predload-cluster/v1 ledger — the
+// aggregate SLO report, a per-backend breakdown scraped from each
+// node's /metrics, the router's lifecycle tallies, and an explicit
+// holds/fails verdict. With -demo it builds the whole cluster (two
+// backends, a warm standby, the router) in-process first.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"os"
 	"time"
 
+	"cohpredict/internal/cluster"
 	"cohpredict/internal/obs"
 	"cohpredict/internal/serve"
 	"cohpredict/internal/traffic"
@@ -58,6 +68,8 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "seed for the arrival schedule and workload draws")
 		out      = flag.String("out", "", "write the predload-slo/v1 report to this JSON file")
 		demo     = flag.Bool("demo", false, "ignore -target: start an in-process loopback server, drive it, and exit")
+		clusterM = flag.Bool("cluster", false, "capacity-planning mode: -target is a predroute router; emit a predload-cluster/v1 ledger")
+		sloP99   = flag.Float64("slo-p99", traffic.DefaultClusterSLOP99Ms, "client p99 budget in ms for the -cluster verdict")
 		replayF  = flag.String("replay", "", "replay this COHTRACE1 file instead of generating load")
 		replayS  = flag.Int("replay-shards", 0, "override recorded shard counts during replay (0 = as recorded)")
 		paced    = flag.Bool("paced", false, "replay at recorded arrival offsets instead of full speed")
@@ -82,28 +94,38 @@ func run() error {
 	base := *target
 	var snapshot func() obs.Snapshot
 	if *demo {
-		reg := obs.New()
-		srv := serve.NewServer(serve.Options{Registry: reg})
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		httpSrv := &http.Server{Handler: srv.Handler()}
-		go func() {
-			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "predload: demo server:", err)
-			}
-		}()
-		defer func() {
-			_ = httpSrv.Close()
-			srv.Shutdown()
-		}()
-		base = "http://" + ln.Addr().String()
-		snapshot = reg.Snapshot
 		if *duration == 10*time.Second {
 			*duration = 2 * time.Second // demo default: a quick smoke
 		}
-		fmt.Printf("predload: demo server on %s\n", base)
+		if *clusterM {
+			clusterBase, cleanup, err := startDemoCluster()
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			base = clusterBase
+			fmt.Printf("predload: demo cluster (2 backends + standby) routed at %s\n", base)
+		} else {
+			reg := obs.New()
+			srv := serve.NewServer(serve.Options{Registry: reg})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			httpSrv := &http.Server{Handler: srv.Handler()}
+			go func() {
+				if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					fmt.Fprintln(os.Stderr, "predload: demo server:", err)
+				}
+			}()
+			defer func() {
+				_ = httpSrv.Close()
+				srv.Shutdown()
+			}()
+			base = "http://" + ln.Addr().String()
+			snapshot = reg.Snapshot
+			fmt.Printf("predload: demo server on %s\n", base)
+		}
 	}
 
 	if *replayF != "" {
@@ -131,6 +153,10 @@ func run() error {
 	}
 	fmt.Printf("predload: %s arrivals at %.0f req/s over %v: %d sessions, %d requests, %d events\n",
 		plan.Arrival, plan.Rate, *duration, len(plan.Sessions), len(plan.Requests), plan.Events())
+
+	if *clusterM {
+		return runCluster(plan, base, binary, *sloP99, *out)
+	}
 
 	rep, err := traffic.Run(plan, traffic.RunOptions{
 		BaseURL:    base,
@@ -163,6 +189,123 @@ func run() error {
 		fmt.Printf("predload: wrote %s\n", *out)
 	}
 	return nil
+}
+
+// runCluster drives a predroute router with the plan and renders the
+// capacity verdict, optionally writing the predload-cluster/v1 ledger.
+func runCluster(plan *traffic.Plan, base string, binary bool, sloP99 float64, out string) error {
+	rep, err := traffic.RunCluster(plan, traffic.ClusterRunOptions{
+		RouterURL: base,
+		Binary:    binary,
+		SLOP99Ms:  sloP99,
+	})
+	if err != nil {
+		return err
+	}
+	agg := &rep.Aggregate
+	fmt.Printf("predload: %d/%d requests ok, %.0f events/sec, client p50 %.2fms p99 %.2fms, 429s %.1f%% 503s %.1f%%\n",
+		agg.OK, agg.Requests, agg.EventsPerSec, agg.ClientP50Ms, agg.ClientP99Ms,
+		100*agg.Rate429, 100*agg.Rate503)
+	for _, b := range rep.PerBackend {
+		role := "backend"
+		if b.Standby {
+			role = "standby"
+		}
+		health := "up"
+		if !b.Healthy {
+			health = "DOWN"
+		}
+		fmt.Printf("  %s %s [%s]: %d sessions, %d events, %d requests, server p50 %.2fms p99 %.2fms\n",
+			role, b.URL, health, b.Sessions, b.Events, b.Requests, b.ServerP50Ms, b.ServerP99Ms)
+	}
+	if rep.Migrations > 0 || rep.Failovers > 0 || rep.Lost > 0 {
+		fmt.Printf("predload: cluster churn: %d migrations, %d failovers, %d lost\n",
+			rep.Migrations, rep.Failovers, rep.Lost)
+	}
+	if rep.Holds {
+		fmt.Printf("predload: capacity HOLDS: %d backends at %.0f req/s under the %.0fms p99 budget\n",
+			rep.Backends, rep.TargetRPS, rep.SLOP99Ms)
+	} else {
+		fmt.Printf("predload: capacity FAILS: %s\n", rep.Reason)
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("predload: wrote %s\n", out)
+	}
+	if !rep.Holds {
+		return fmt.Errorf("capacity verdict: fails (%s)", rep.Reason)
+	}
+	return nil
+}
+
+// startDemoCluster builds the -demo -cluster topology in-process: two
+// serving backends and a warm standby, fronted by a predroute router,
+// all on loopback listeners. Returns the router base URL and a
+// cleanup that tears the whole stack down.
+func startDemoCluster() (string, func(), error) {
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	startOne := func() (string, error) {
+		srv := serve.NewServer(serve.Options{Registry: obs.New()})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "predload: demo backend:", err)
+			}
+		}()
+		cleanups = append(cleanups, func() { _ = httpSrv.Close(); srv.Shutdown() })
+		return "http://" + ln.Addr().String(), nil
+	}
+
+	var backends []string
+	for i := 0; i < 2; i++ {
+		u, err := startOne()
+		if err != nil {
+			cleanup()
+			return "", nil, err
+		}
+		backends = append(backends, u)
+	}
+	standby, err := startOne()
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	rt, err := cluster.New(cluster.Options{Backends: backends, Standby: standby})
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	cleanups = append(cleanups, rt.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "predload: demo router:", err)
+		}
+	}()
+	cleanups = append(cleanups, func() { _ = httpSrv.Close() })
+	return "http://" + ln.Addr().String(), cleanup, nil
 }
 
 // runReplay plays a recorded trace back at the server and prints each

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	resclient "cohpredict/internal/client"
+	"cohpredict/internal/cluster"
+	"cohpredict/internal/core"
+	"cohpredict/internal/eval"
+	"cohpredict/internal/fault"
+	"cohpredict/internal/machine"
+	"cohpredict/internal/obs"
+	"cohpredict/internal/serve"
+	"cohpredict/internal/trace"
+	"cohpredict/internal/workload"
+)
+
+// demoBackend is one in-process predserve node the demo can kill.
+type demoBackend struct {
+	srv  *serve.Server
+	http *http.Server
+	url  string
+}
+
+func (b *demoBackend) kill() {
+	b.http.Close()
+	_ = b.srv.Shutdown()
+}
+
+// runDemo is the -demo walkthrough: three fault-injected backends plus
+// a warm standby behind one router. A session streams an em3d trace
+// through the router while (1) a live migration moves it between
+// backends mid-stream and (2) its then-current home is killed without
+// warning right after a snapshot ship, forcing a standby failover. The
+// served predictions and final confusion tallies must match the
+// fault-free offline engine byte for byte, or the demo exits non-zero.
+func runDemo(seed int64, logger *obs.Logger) error {
+	const (
+		schemeStr = "union(dir+add8)2[forwarded]"
+		chunk     = 173
+	)
+
+	// Ground truth: the fault-free offline engine over the same trace.
+	mach := machine.New(machine.DefaultConfig())
+	bench, err := workload.ByName("em3d", workload.ScaleTest)
+	if err != nil {
+		return err
+	}
+	bench.Run(mach, 16, 3)
+	tr := mach.Finish()
+	scheme, err := core.ParseScheme(schemeStr)
+	if err != nil {
+		return err
+	}
+	eng := eval.NewEngine(scheme, core.Machine{Nodes: 16, LineBytes: 64})
+	wantPreds := make([]uint64, len(tr.Events))
+	for i, ev := range tr.Events {
+		wantPreds[i] = uint64(eng.Step(ev))
+	}
+	wantConf := eng.Confusion()
+
+	wire := wireEvents(tr.Events)
+	batches := (len(wire) + chunk - 1) / chunk
+	fmt.Printf("cluster demo: %s, %d events in %d batches, seed %d\n",
+		schemeStr, len(wire), batches, seed)
+
+	// Three serving backends and a standby, each with its own seeded
+	// injector (drops, 500s, resets on the event path).
+	start := func(tag string, inj *fault.Injector) (*demoBackend, error) {
+		srv := serve.NewServer(serve.Options{Fault: inj, Log: logger})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		b := &demoBackend{srv: srv, http: hs, url: "http://" + ln.Addr().String()}
+		fmt.Printf("  backend %s on %s\n", tag, b.url)
+		return b, nil
+	}
+	var nodes []*demoBackend
+	var urls []string
+	for i := 0; i < 3; i++ {
+		inj := fault.New(fault.Config{
+			Seed: seed + int64(i), Drop: 0.10, Reset: 0.08, Error: 0.08,
+			Delay: 0.05, MaxDelay: 200 * time.Microsecond,
+		}, nil)
+		b, err := start(fmt.Sprintf("%d", i), inj)
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, b)
+		urls = append(urls, b.url)
+	}
+	sb, err := start("standby", nil)
+	if err != nil {
+		return err
+	}
+	defer sb.kill()
+
+	rt, err := cluster.New(cluster.Options{Backends: urls, Standby: sb.url, Log: logger})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	rhs := &http.Server{Handler: rt.Handler()}
+	go func() { _ = rhs.Serve(rln) }()
+	defer rhs.Close()
+	routerURL := "http://" + rln.Addr().String()
+	fmt.Printf("  router on %s (standby %s)\n", routerURL, sb.url)
+
+	cl := resclient.New(resclient.Options{BaseURL: routerURL, Seed: seed, MaxRetries: 64, Binary: true})
+	sess, err := cl.CreateSession(serve.CreateSessionRequest{
+		Scheme: schemeStr, Nodes: 16, LineBytes: 64, Shards: 2, FlushMicros: -1,
+	})
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	id := sess.ID
+
+	homeOf := func() (string, error) {
+		st, err := fetchStatus(routerURL)
+		if err != nil {
+			return "", err
+		}
+		for _, s := range st.Sessions {
+			if s.ID == id {
+				return s.Backend, nil
+			}
+		}
+		return "", fmt.Errorf("session %s not in cluster status", id)
+	}
+
+	migrateAt, killAt := batches/3, 2*batches/3
+	migrated, killed := false, false
+	preds := make([]uint64, 0, len(wire))
+	for lo, batch := 0, 0; lo < len(wire); lo, batch = lo+chunk, batch+1 {
+		if batch == migrateAt && !migrated {
+			home, err := homeOf()
+			if err != nil {
+				return err
+			}
+			target := urls[0]
+			for i, u := range urls {
+				if u == home {
+					target = urls[(i+1)%len(urls)]
+				}
+			}
+			if err := postMigrate(routerURL, id, target); err != nil {
+				return fmt.Errorf("migrate: %w", err)
+			}
+			fmt.Printf("  MIGRATED at batch %d: %s -> %s\n", batch, home, target)
+			migrated = true
+		}
+		if batch == killAt && !killed {
+			if n := rt.ShipNow(); n == 0 {
+				return fmt.Errorf("ship before kill shipped nothing")
+			}
+			home, err := homeOf()
+			if err != nil {
+				return err
+			}
+			for _, b := range nodes {
+				if b.url == home {
+					b.kill()
+				}
+			}
+			fmt.Printf("  KILLED %s at batch %d (snapshot shipped; failover to standby)\n", home, batch)
+			killed = true
+		}
+		hi := lo + chunk
+		if hi > len(wire) {
+			hi = len(wire)
+		}
+		got, err := cl.PostEvents(id, wire[lo:hi])
+		if err != nil {
+			return fmt.Errorf("post batch %d: %w", batch, err)
+		}
+		preds = append(preds, got...)
+	}
+
+	stats, err := cl.SessionStats(id)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	st, err := fetchStatus(routerURL)
+	if err != nil {
+		return err
+	}
+	cs := cl.Stats()
+	fmt.Printf("  cluster: %d migrations, %d failovers, %d ships; client: %d requests, %d retries, %d replays (%s)\n",
+		st.Migrations, st.Failovers, st.Ships, cs.Requests, cs.Retries, cs.Replays, cs.Transport)
+
+	if !migrated || !killed {
+		return fmt.Errorf("demo script incomplete: migrated=%v killed=%v", migrated, killed)
+	}
+	if st.Migrations != 1 || st.Failovers != 1 {
+		return fmt.Errorf("want 1 migration and 1 failover, got %d and %d", st.Migrations, st.Failovers)
+	}
+	if len(preds) != len(wantPreds) {
+		return fmt.Errorf("served %d predictions, want %d", len(preds), len(wantPreds))
+	}
+	for i := range preds {
+		if preds[i] != wantPreds[i] {
+			return fmt.Errorf("prediction %d diverged: got %#x, want %#x", i, preds[i], wantPreds[i])
+		}
+	}
+	if stats.TP != wantConf.TP || stats.FP != wantConf.FP || stats.TN != wantConf.TN ||
+		stats.FN != wantConf.FN || stats.Events != uint64(len(tr.Events)) {
+		return fmt.Errorf("stats diverged: got %+v, want %+v over %d events", stats, wantConf, len(tr.Events))
+	}
+	fmt.Printf("  VERIFIED: all %d predictions and the confusion tallies match the fault-free engine\n", len(preds))
+	return nil
+}
+
+// fetchStatus GETs and strictly decodes /v1/cluster.
+func fetchStatus(routerURL string) (*cluster.ClusterStatus, error) {
+	resp, err := http.Get(routerURL + "/v1/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/cluster: %d: %s", resp.StatusCode, buf.String())
+	}
+	return cluster.DecodeClusterStatus(buf.Bytes())
+}
+
+// postMigrate POSTs one control-plane migration and checks it landed.
+func postMigrate(routerURL, session, target string) error {
+	body, err := cluster.EncodeMigrateRequest(&cluster.MigrateRequest{Session: session, Target: target})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(routerURL+"/v1/cluster/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("migrate returned %d: %s", resp.StatusCode, buf.String())
+	}
+	return nil
+}
+
+// wireEvents converts simulator trace events to their API form.
+func wireEvents(evs []trace.Event) []serve.EventRequest {
+	out := make([]serve.EventRequest, len(evs))
+	for i, ev := range evs {
+		out[i] = serve.EventRequest{
+			PID:           ev.PID,
+			PC:            ev.PC,
+			Dir:           ev.Dir,
+			Addr:          ev.Addr,
+			InvReaders:    uint64(ev.InvReaders),
+			HasPrev:       ev.HasPrev,
+			PrevPID:       ev.PrevPID,
+			PrevPC:        ev.PrevPC,
+			FutureReaders: uint64(ev.FutureReaders),
+		}
+	}
+	return out
+}

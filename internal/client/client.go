@@ -13,7 +13,11 @@
 //     ambiguous transport failure;
 //   - every event post carries an Idempotency-Key, so a batch whose
 //     response was lost after processing is replayed from the server's
-//     cache instead of training the engine twice.
+//     cache instead of training the engine twice;
+//   - a 307/308 from a router (predroute's direct mode hands out the
+//     owning backend's URL after a migration) is followed as the SAME
+//     logical request — same body, same Idempotency-Key, same
+//     X-Request-ID — never re-minted as a fresh post.
 //
 // Determinism matters here the same way it does everywhere else in this
 // repo: a chaos run is an experiment, and experiments replay from their
@@ -32,6 +36,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -79,9 +84,10 @@ type Options struct {
 
 // APIError is a non-2xx response from the service.
 type APIError struct {
-	Status  int
-	Code    string // machine classifier from the error envelope, if any
-	Message string
+	Status   int
+	Code     string // machine classifier from the error envelope, if any
+	Message  string
+	Location string // Location header on a redirect response, if any
 }
 
 func (e *APIError) Error() string {
@@ -100,7 +106,11 @@ func Retryable(err error) bool {
 			return false
 		}
 		switch ae.Status {
-		case http.StatusTooManyRequests, http.StatusInternalServerError, http.StatusServiceUnavailable:
+		case http.StatusTooManyRequests, http.StatusInternalServerError,
+			http.StatusBadGateway, http.StatusServiceUnavailable:
+			// 502 is the router's transport-failure signal: the backend
+			// may or may not have acted, which is exactly what the
+			// idempotency key exists to absorb.
 			return true
 		}
 		return false
@@ -122,6 +132,10 @@ func retrySafeResponse(err error) bool {
 // maxRetriedIDs bounds the retried-request-ID window Stats surfaces.
 const maxRetriedIDs = 64
 
+// maxRedirects bounds how many Location hops one logical request will
+// follow before the redirect itself is surfaced as the error.
+const maxRedirects = 4
+
 // Stats is the client's view of a retry loop's work.
 type Stats struct {
 	Requests    int64  // HTTP attempts issued
@@ -132,6 +146,7 @@ type Stats struct {
 	BinaryPosts int64  // event batches sent as COHWIRE1 frames
 	JSONPosts   int64  // event batches sent as JSON
 	Downgrades  int64  // binary→JSON downgrades (0 or 1: the switch is one-way)
+	Redirects   int64  // 307/308 Location hops followed under the same key
 	// RetriedIDs are the X-Request-IDs of the most recent event posts
 	// (up to maxRetriedIDs) that needed at least one retry — the handle
 	// for correlating a client-side retry with the server's flight
@@ -162,6 +177,7 @@ type Client struct {
 	binaryPosts atomic.Int64
 	jsonPosts   atomic.Int64
 	downgrades  atomic.Int64
+	redirects   atomic.Int64
 }
 
 // New builds a client for the server at opts.BaseURL.
@@ -185,6 +201,13 @@ func New(opts Options) *Client {
 		h = &http.Client{
 			Timeout:   opts.Timeout,
 			Transport: &http.Transport{DisableKeepAlives: true},
+			// Redirects are followed by do(), not by net/http: Go's
+			// automatic redirect would re-send without the original
+			// Idempotency-Key discipline being visible in our stats,
+			// and we want the hop accounted and bounded ourselves.
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
 		}
 	}
 	c := &Client{
@@ -214,6 +237,7 @@ func (c *Client) Stats() Stats {
 		BinaryPosts: c.binaryPosts.Load(),
 		JSONPosts:   c.jsonPosts.Load(),
 		Downgrades:  c.downgrades.Load(),
+		Redirects:   c.redirects.Load(),
 		RetriedIDs:  ids,
 	}
 }
@@ -272,8 +296,13 @@ func (c *Client) nextRequestID() string {
 // for idempotent requests, retrySafeResponse for non-idempotent ones).
 // idemKey, when non-empty, is sent as the Idempotency-Key header on every
 // attempt; reqID likewise as X-Request-ID — the SAME id on every attempt,
-// by design. The response body (for 2xx) is returned whole.
+// by design. A 307/308 with a Location is a routing hop, not a failure:
+// the same request — body, key, request id — is re-issued against the
+// new URL without consuming a retry, bounded by maxRedirects. The
+// response body (for 2xx) is returned whole.
 func (c *Client) do(method, path string, body []byte, contentType, accept, idemKey, reqID string, retry func(error) bool) ([]byte, error) {
+	url := c.opts.BaseURL + path
+	redirects := 0
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -291,9 +320,21 @@ func (c *Client) do(method, path string, body []byte, contentType, accept, idemK
 			c.sleep(c.backoff(attempt - 1))
 		}
 		c.requests.Add(1)
-		resp, err := c.attempt(method, path, body, contentType, accept, idemKey, reqID)
+		resp, err := c.attempt(method, url, body, contentType, accept, idemKey, reqID)
 		if err == nil {
 			return resp, nil
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && redirectStatus(ae.Status) && ae.Location != "" && redirects < maxRedirects {
+			next, rerr := resolveLocation(url, ae.Location)
+			if rerr == nil {
+				url = next
+				redirects++
+				c.redirects.Add(1)
+				attempt-- // a hop, not a retry: no backoff, no retry budget
+				continue
+			}
+			err = fmt.Errorf("client: bad redirect location %q: %w", ae.Location, rerr)
 		}
 		lastErr = err
 		if !retry(err) {
@@ -302,12 +343,34 @@ func (c *Client) do(method, path string, body []byte, contentType, accept, idemK
 	}
 }
 
-func (c *Client) attempt(method, path string, body []byte, contentType, accept, idemKey, reqID string) ([]byte, error) {
+func redirectStatus(status int) bool {
+	return status == http.StatusTemporaryRedirect || status == http.StatusPermanentRedirect
+}
+
+// resolveLocation resolves a Location header against the URL that
+// produced it (absolute locations pass through).
+func resolveLocation(base, location string) (string, error) {
+	b, err := neturl.Parse(base)
+	if err != nil {
+		return "", err
+	}
+	l, err := neturl.Parse(location)
+	if err != nil {
+		return "", err
+	}
+	res := b.ResolveReference(l)
+	if res.Scheme != "http" && res.Scheme != "https" {
+		return "", fmt.Errorf("client: refusing redirect to scheme %q", res.Scheme)
+	}
+	return res.String(), nil
+}
+
+func (c *Client) attempt(method, url string, body []byte, contentType, accept, idemKey, reqID string) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.opts.BaseURL+path, rd)
+	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +401,10 @@ func (c *Client) attempt(method, path string, body []byte, contentType, accept, 
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return nil, &APIError{Status: resp.StatusCode, Code: er.Code, Message: msg}
+		return nil, &APIError{
+			Status: resp.StatusCode, Code: er.Code, Message: msg,
+			Location: resp.Header.Get("Location"),
+		}
 	}
 	return data, nil
 }

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func validStatus() *ClusterStatus {
+	return &ClusterStatus{
+		Backends: []BackendStatus{
+			{URL: "http://a:1", Healthy: true, Sessions: 2},
+			{URL: "http://b:1", Healthy: false, Sessions: 0},
+			{URL: "http://s:1", Healthy: true, Standby: true, Sessions: 1},
+		},
+		Sessions: []SessionStatus{
+			{ID: "c1", Backend: "http://a:1", LocalID: "s1"},
+			{ID: "c2", Backend: "http://s:1", LocalID: "c2", Shipped: true},
+			{ID: "c3", Lost: true},
+		},
+		Migrations: 1, Failovers: 1, Ships: 3, Parked: 2,
+	}
+}
+
+// TestControlRoundTrip pins the canonical-codec contract on the happy
+// path: encode → decode → encode must be byte-stable, for both control
+// messages.
+func TestControlRoundTrip(t *testing.T) {
+	mr := &MigrateRequest{Session: "c7", Target: "http://b:1"}
+	data, err := EncodeMigrateRequest(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMigrateRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *mr {
+		t.Fatalf("migrate round trip: %+v != %+v", back, mr)
+	}
+	again, err := EncodeMigrateRequest(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("migrate re-encode differs:\n%s\n%s", data, again)
+	}
+
+	st := validStatus()
+	sdata, err := EncodeClusterStatus(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sback, err := DecodeClusterStatus(sdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sagain, err := EncodeClusterStatus(sback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sagain) != string(sdata) {
+		t.Fatalf("status re-encode differs:\n%s\n%s", sdata, sagain)
+	}
+}
+
+// TestDecodeMigrateRequestRejects enumerates the refusal modes of the
+// strict migrate decoder.
+func TestDecodeMigrateRequestRejects(t *testing.T) {
+	long := strings.Repeat("x", maxControlIDLen+1)
+	cases := map[string]string{
+		"empty":           ``,
+		"not json":        `nope`,
+		"unknown field":   `{"session":"c1","target":"t","extra":1}`,
+		"trailing data":   `{"session":"c1","target":"t"} {}`,
+		"missing session": `{"target":"t"}`,
+		"missing target":  `{"session":"c1"}`,
+		"long session":    `{"session":"` + long + `","target":"t"}`,
+		"control chars":   "{\"session\":\"c\\u0007\",\"target\":\"t\"}",
+		"del in target":   "{\"session\":\"c1\",\"target\":\"t\\u007f\"}",
+	}
+	for name, in := range cases {
+		if _, err := DecodeMigrateRequest([]byte(in)); err == nil {
+			t.Errorf("%s: decoder accepted %q", name, in)
+		}
+	}
+}
+
+// TestDecodeClusterStatusRejects enumerates the structural refusals of
+// the strict status decoder.
+func TestDecodeClusterStatusRejects(t *testing.T) {
+	mutations := map[string]func(*ClusterStatus){
+		"no backends":        func(st *ClusterStatus) { st.Backends = nil },
+		"duplicate backend":  func(st *ClusterStatus) { st.Backends[1].URL = st.Backends[0].URL },
+		"negative sessions":  func(st *ClusterStatus) { st.Backends[0].Sessions = -1 },
+		"unsorted sessions":  func(st *ClusterStatus) { st.Sessions[0], st.Sessions[1] = st.Sessions[1], st.Sessions[0] },
+		"duplicate session":  func(st *ClusterStatus) { st.Sessions[1] = st.Sessions[0] },
+		"lost with backend":  func(st *ClusterStatus) { st.Sessions[2].Backend = "http://a:1" },
+		"placed nowhere":     func(st *ClusterStatus) { st.Sessions[0].Backend = "" },
+		"unknown home":       func(st *ClusterStatus) { st.Sessions[0].Backend = "http://zz:1" },
+		"negative tally":     func(st *ClusterStatus) { st.Migrations = -1 },
+		"negative failovers": func(st *ClusterStatus) { st.Failovers = -2 },
+	}
+	for name, mutate := range mutations {
+		st := validStatus()
+		mutate(st)
+		// Encode must refuse it too — the encoder validates — so build
+		// the wire form through plain marshalling via the decoder's own
+		// round trip: feed the struct through validate directly.
+		if err := st.validate(); err == nil {
+			t.Errorf("%s: validate accepted the mutation", name)
+		}
+	}
+	for name, in := range map[string]string{
+		"unknown field": `{"backends":[{"url":"u","healthy":true,"sessions":0}],"migrations":0,"failovers":0,"snapshot_ships":0,"bogus":1}`,
+		"trailing":      `{"backends":[{"url":"u","healthy":true,"sessions":0}],"migrations":0,"failovers":0,"snapshot_ships":0} x`,
+		"array":         `[]`,
+	} {
+		if _, err := DecodeClusterStatus([]byte(in)); err == nil {
+			t.Errorf("%s: decoder accepted %q", name, in)
+		}
+	}
+}

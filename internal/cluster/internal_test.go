@@ -1,0 +1,228 @@
+package cluster
+
+// White-box tests for the routing internals black-box tests cannot
+// time: the park bound, the flip-timeout refusal, and the stale-route
+// re-resolve (which needs a hook inside the resolve→forward window).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cohpredict/internal/obs"
+	"cohpredict/internal/serve"
+)
+
+// TestRouteParkBound pins the park accounting on one entry: requests
+// arriving during a migration park up to MaxParked, the next one is
+// refused with errParkOverflow, and an unpark frees the slot.
+func TestRouteParkBound(t *testing.T) {
+	e := &entry{cid: "c1", home: &node{url: "http://b"}, localID: "s1"}
+	e.migrating = true
+	e.flip = make(chan struct{})
+
+	n, _, wait, err := e.route(1)
+	if err != nil || n != nil || wait == nil {
+		t.Fatalf("first request during a flip should park, got n=%v wait=%v err=%v", n, wait, err)
+	}
+	if _, _, _, err := e.route(1); !errors.Is(err, errParkOverflow) {
+		t.Fatalf("second park past the bound: want errParkOverflow, got %v", err)
+	}
+	e.unpark()
+	if _, _, wait, err := e.route(1); err != nil || wait == nil {
+		t.Fatalf("park after an unpark should fit again, got wait=%v err=%v", wait, err)
+	}
+}
+
+// TestResolveFlipTimeout: a parked request must not wait forever for a
+// flip that never comes — it times out with a retryable 503.
+func TestResolveFlipTimeout(t *testing.T) {
+	rt := &Router{
+		opts: Options{MaxParked: 4, ParkTimeout: time.Millisecond},
+		cm:   newClusterMetrics(nil),
+	}
+	e := &entry{cid: "c1", home: &node{url: "http://b"}, localID: "s1"}
+	e.migrating = true
+	e.flip = make(chan struct{})
+
+	_, _, err := rt.resolve(e)
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.status != http.StatusServiceUnavailable {
+		t.Fatalf("resolve against a stuck flip: want 503, got %v", err)
+	}
+	e.mu.Lock()
+	parked := e.parked
+	e.mu.Unlock()
+	if parked != 0 {
+		t.Fatalf("timed-out request left %d park slots held", parked)
+	}
+}
+
+// TestResolveFlipCap: a request that keeps losing the re-resolve race
+// to back-to-back migrations gives up after a bounded number of flips
+// instead of livelocking.
+func TestResolveFlipCap(t *testing.T) {
+	rt := &Router{
+		opts: Options{MaxParked: 4, ParkTimeout: time.Second},
+		cm:   newClusterMetrics(nil),
+	}
+	e := &entry{cid: "c1", home: &node{url: "http://b"}, localID: "s1"}
+	e.migrating = true
+	flip := make(chan struct{})
+	e.flip = flip
+	// Every time the waiter wakes, the next "migration" is already in
+	// progress: re-arm the flip channel forever.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			next := make(chan struct{})
+			e.mu.Lock()
+			old := e.flip
+			e.flip = next
+			e.mu.Unlock()
+			close(old)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	_, _, err := rt.resolve(e)
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.status != http.StatusServiceUnavailable {
+		t.Fatalf("resolve under endless flips: want 503, got %v", err)
+	}
+}
+
+// TestStaleRouteRetry drives the 404 re-resolve path end to end: a
+// request resolves its route, then — inside the resolve→forward window
+// — the session moves out from under it. The forward hits the old home,
+// gets 404, notices the table changed, and retries against the new home
+// exactly once. The hook is the only way to land deterministically in
+// that window.
+func TestStaleRouteRetry(t *testing.T) {
+	b1 := httptest.NewServer(serve.NewServer(serve.Options{}).Handler())
+	defer b1.Close()
+	b2 := httptest.NewServer(serve.NewServer(serve.Options{}).Handler())
+	defer b2.Close()
+
+	rt, err := New(Options{Backends: []string{b1.URL, b2.URL}, Registry: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	post := func(url, body, ctype string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(url, ctype, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, data
+	}
+
+	code, body := post(ts.URL+"/v1/sessions", `{"scheme":"last(dir)1","flush_micros":-1}`, "application/json")
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d: %s", code, body)
+	}
+	var info serve.CreateSessionResponse
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	cid := info.ID
+
+	rt.mu.Lock()
+	e := rt.sessions[cid]
+	rt.mu.Unlock()
+	e.mu.Lock()
+	oldHome, oldID := e.home, e.localID
+	e.mu.Unlock()
+	var newHome *node
+	for _, n := range rt.backends {
+		if n != oldHome {
+			newHome = n
+		}
+	}
+
+	// The hook fires in the stale window: move the backend copy to the
+	// other node and flip the table, leaving the caller's resolved
+	// route pointing at a session its backend no longer has.
+	fired := false
+	testHookPreForward = func(id string) {
+		if fired || id != cid {
+			return
+		}
+		fired = true
+		snap, err := http.Get(oldHome.url + "/v1/sessions/" + oldID + "/snapshot")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		data, _ := io.ReadAll(snap.Body)
+		snap.Body.Close()
+		if snap.StatusCode != http.StatusOK {
+			t.Errorf("snapshot from old home: %d: %s", snap.StatusCode, data)
+			return
+		}
+		req, _ := http.NewRequest(http.MethodPut, newHome.url+"/v1/sessions/"+cid+"/snapshot", bytes.NewReader(data))
+		put, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, put.Body)
+		put.Body.Close()
+		if put.StatusCode != http.StatusCreated {
+			t.Errorf("restore on new home: %d", put.StatusCode)
+			return
+		}
+		del, _ := http.NewRequest(http.MethodDelete, oldHome.url+"/v1/sessions/"+oldID, nil)
+		if resp, err := http.DefaultClient.Do(del); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		e.mu.Lock()
+		e.home, e.localID = newHome, cid
+		e.mu.Unlock()
+	}
+	defer func() { testHookPreForward = nil }()
+
+	code, body = post(ts.URL+"/v1/sessions/"+cid+"/events",
+		`[{"pid":0,"pc":64,"dir":1,"addr":4096,"inv_readers":0}]`, "application/json")
+	if code != http.StatusOK {
+		t.Fatalf("post through the stale window: %d: %s", code, body)
+	}
+	if !fired {
+		t.Fatal("the pre-forward hook never fired")
+	}
+	if got := rt.cm.staleRetries.Value(); got != 1 {
+		t.Fatalf("stale retries %d, want exactly 1", got)
+	}
+
+	// The session stayed whole: its stats live on the new home under
+	// the cluster id.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + cid + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != cid || st.Events != 1 {
+		t.Fatalf("post-retry stats: %+v, want id %s with 1 event", st, cid)
+	}
+}

@@ -1,0 +1,224 @@
+package cluster
+
+// Live migration and failover. Both move a session's home; they differ
+// in what they can salvage. Migration is cooperative: the old node is
+// alive, so the session drains, snapshots at the exact event boundary,
+// and loses nothing. Failover is forensic: the old node is gone, so
+// the session resumes from the last snapshot shipped to the standby —
+// at most one flush interval behind — and the client's idempotency
+// keys bridge the seam (a batch that trained just before the kill and
+// is retried after the flip replays from the shipped idempotency cache
+// instead of training twice).
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Migrate moves a live session to the named target backend: drain →
+// snapshot → restore → flip → replay parked requests. On any step
+// failure the routing table is rolled back to the old home and the
+// parked requests resume against it.
+//
+// Migrations are serialized (migrateMu): concurrent rebalancing moves
+// one session at a time, which keeps snapshot traffic bounded and the
+// failure analysis simple.
+func (rt *Router) Migrate(cid, target string) error {
+	e, err := rt.lookup(cid)
+	if err != nil {
+		return err
+	}
+	tgt := rt.backendByURL(target)
+	if tgt == nil {
+		return httpErr(http.StatusBadRequest, fmt.Errorf("cluster: target %q is not a configured backend", target))
+	}
+	if !tgt.healthy.Load() {
+		return httpErr(http.StatusConflict, fmt.Errorf("cluster: target %s is unhealthy", tgt.url))
+	}
+
+	rt.migrateMu.Lock()
+	defer rt.migrateMu.Unlock()
+
+	// Begin the drain: mark the entry migrating so new requests park,
+	// then wait out the forwards already holding the old route.
+	e.mu.Lock()
+	if e.lost {
+		e.mu.Unlock()
+		return ErrSessionLost
+	}
+	if e.migrating {
+		e.mu.Unlock()
+		return httpErr(http.StatusConflict, ErrMigrating)
+	}
+	src, srcID := e.home, e.localID
+	if src == tgt && srcID == e.cid {
+		// Already home under its cluster id: nothing to move.
+		e.mu.Unlock()
+		return nil
+	}
+	e.migrating = true
+	e.flip = make(chan struct{})
+	e.mu.Unlock()
+	e.inflight.Wait()
+
+	finish := func(newHome *node, newID string) {
+		e.mu.Lock()
+		if newHome != nil {
+			e.home, e.localID = newHome, newID
+		}
+		e.migrating = false
+		close(e.flip)
+		e.mu.Unlock()
+	}
+	abort := func(step string, err error) error {
+		finish(nil, "")
+		rt.migAborts.Add(1)
+		rt.cm.migrationAborts.Inc()
+		rt.opts.Log.Infof("cluster: migration of %s to %s aborted at %s: %v", cid, tgt.url, step, err)
+		return codedErr(http.StatusBadGateway, CodeBadGateway,
+			fmt.Errorf("cluster: migrating %s: %s: %w", cid, step, err))
+	}
+
+	// Snapshot the drained session. The GET quiesces the backend
+	// session at an event boundary; the snapshot carries tuning and
+	// the idempotency cache, so retries straddling the flip replay.
+	snap, ferr := rt.forward(src, http.MethodGet, "/v1/sessions/"+srcID+"/snapshot", nil, nil)
+	if ferr != nil {
+		rt.noteBackendFailure(src)
+		return abort("snapshot", ferr)
+	}
+	if snap.status != http.StatusOK {
+		return abort("snapshot", fmt.Errorf("backend %s returned %d: %s", src.url, snap.status, snap.body))
+	}
+
+	// Restore on the target under the cluster id (clearing any stale
+	// copy a best-effort delete may have left behind first).
+	_, _ = rt.forward(tgt, http.MethodDelete, "/v1/sessions/"+cid, nil, nil)
+	hdr := make(http.Header, 1)
+	hdr.Set("Content-Type", snap.header.Get("Content-Type"))
+	put, ferr := rt.forward(tgt, http.MethodPut, "/v1/sessions/"+cid+"/snapshot", snap.body, hdr)
+	if ferr != nil {
+		rt.noteBackendFailure(tgt)
+		return abort("restore", ferr)
+	}
+	if put.status != http.StatusCreated {
+		return abort("restore", fmt.Errorf("backend %s returned %d: %s", tgt.url, put.status, put.body))
+	}
+
+	// Flip: from here every parked and future request routes to the
+	// target. Only then retire the old copy (best-effort — the old
+	// node may die right here and the migration has still succeeded).
+	finish(tgt, cid)
+	_, _ = rt.forward(src, http.MethodDelete, "/v1/sessions/"+srcID, nil, nil)
+	rt.migrations.Add(1)
+	rt.cm.migrationsTotal.Inc()
+	rt.opts.Log.Infof("cluster: migrated %s: %s/%s -> %s/%s", cid, src.url, srcID, tgt.url, cid)
+	return nil
+}
+
+// probe asks one node's /healthz with the short probe timeout.
+func (rt *Router) probe(n *node) bool {
+	resp, err := rt.probeC.Get(n.url + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// noteBackendFailure is the fast detection path: a proxy transport
+// failure triggers an immediate probe, and a failed probe triggers
+// failover. A transient blip (probe succeeds) changes nothing.
+func (rt *Router) noteBackendFailure(n *node) {
+	if rt.probe(n) {
+		return
+	}
+	rt.markDown(n)
+}
+
+// markDown transitions a node to unhealthy exactly once and fails its
+// sessions over to the standby.
+func (rt *Router) markDown(n *node) {
+	if !n.healthy.CompareAndSwap(true, false) {
+		return
+	}
+	rt.opts.Log.Infof("cluster: backend %s marked down", n.url)
+	rt.updateHealthGauge()
+	rt.failoverFrom(n)
+}
+
+// markUp transitions a node back to healthy (the health loop's probe
+// succeeded). Sessions do not move back automatically; the node simply
+// rejoins the ring for new placements and migration targets.
+func (rt *Router) markUp(n *node) {
+	if !n.healthy.CompareAndSwap(false, true) {
+		return
+	}
+	rt.opts.Log.Infof("cluster: backend %s back up", n.url)
+	rt.updateHealthGauge()
+}
+
+func (rt *Router) updateHealthGauge() {
+	healthy := 0
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			healthy++
+		}
+	}
+	rt.cm.backendsHealthy.Set(float64(healthy))
+}
+
+// failoverFrom moves every session homed on the dead node to the
+// standby's last shipped copy, or declares it lost. A session mid-
+// migration is left to the migration's own error handling (its drain
+// or restore against the dead node will fail and roll back; a later
+// request then hits the transport error and re-enters here).
+func (rt *Router) failoverFrom(dead *node) {
+	// shipMu: wait out any in-flight standby copy replacement, so the
+	// shipped marks consulted below describe complete copies.
+	rt.shipMu.Lock()
+	defer rt.shipMu.Unlock()
+	standby := rt.standby
+	standbyOK := standby != nil && standby != dead && rt.probe(standby)
+	for _, e := range rt.entries() {
+		e.mu.Lock()
+		if e.home != dead || e.lost || e.migrating {
+			e.mu.Unlock()
+			continue
+		}
+		if standbyOK && e.shipped {
+			e.home, e.localID = standby, e.cid
+			e.mu.Unlock()
+			rt.failovers.Add(1)
+			rt.cm.failoversTotal.Inc()
+			rt.opts.Log.Infof("cluster: session %s failed over to standby %s", e.cid, standby.url)
+			continue
+		}
+		e.lost = true
+		e.mu.Unlock()
+		rt.lostTotal.Add(1)
+		rt.cm.lostTotal.Inc()
+		rt.opts.Log.Infof("cluster: session %s lost with %s (no standby copy)", e.cid, dead.url)
+	}
+}
+
+// CheckNow probes every node once (serving backends and standby) and
+// applies the up/down transitions. The health loop calls this on its
+// interval; tests and the demo call it directly.
+func (rt *Router) CheckNow() {
+	nodes := rt.backends
+	if rt.standby != nil {
+		nodes = append(append([]*node{}, rt.backends...), rt.standby)
+	}
+	for _, n := range nodes {
+		if rt.probe(n) {
+			rt.markUp(n)
+		} else {
+			// For the standby this only gates ship/failover
+			// eligibility — unless it is hosting sessions
+			// post-failover, in which case failoverFrom declares
+			// them lost (no second standby to fall back to).
+			rt.markDown(n)
+		}
+	}
+}

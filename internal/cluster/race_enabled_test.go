@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose ~10x slowdown makes throughput floors meaningless.
+const raceEnabled = true

@@ -1,0 +1,118 @@
+package cluster
+
+// Warm-standby replication: periodic COHSNAP1 shipping. Every session
+// gets its snapshot GET from its home and PUT to the standby on the
+// ship interval, so an unannounced backend death loses at most one
+// interval of training (and nothing at all when the client retries
+// with idempotency keys that land inside the shipped cache window).
+
+import (
+	"net/http"
+	"time"
+)
+
+// ShipNow ships one snapshot per eligible session to the standby and
+// reports how many shipped. Sessions already homed on the standby
+// (post-failover), lost sessions, and sessions mid-migration are
+// skipped. Ships are serialized with migrations (migrateMu) so a ship
+// can never interleave with a flip on the same session.
+func (rt *Router) ShipNow() int {
+	standby := rt.standby
+	if standby == nil || !standby.healthy.Load() {
+		return 0
+	}
+	rt.migrateMu.Lock()
+	shipped := 0
+	var failed []*node
+	for _, e := range rt.entries() {
+		n, localID, migrating, _, lost := e.placement()
+		if lost || migrating || n == standby {
+			continue
+		}
+		ok, bad := rt.shipOne(e, n, localID, standby)
+		if ok {
+			shipped++
+		}
+		if bad != nil {
+			failed = append(failed, bad)
+		}
+	}
+	rt.migrateMu.Unlock()
+	// Probe outside the locks: noteBackendFailure may run a failover,
+	// which takes shipMu itself.
+	for _, n := range failed {
+		rt.noteBackendFailure(n)
+	}
+	return shipped
+}
+
+// shipOne moves one session's snapshot home→standby. The snapshot GET
+// quiesces the session at an event boundary. The standby's copy is
+// replaced under shipMu (delete, then restore), which failoverFrom
+// also takes — so a failover either sees the old complete copy or the
+// new complete copy, never the gap between them. Transport failures
+// are returned to the caller for probing, not probed here, to keep the
+// lock order acyclic.
+func (rt *Router) shipOne(e *entry, home *node, localID string, standby *node) (ok bool, failed *node) {
+	snap, err := rt.forward(home, http.MethodGet, "/v1/sessions/"+localID+"/snapshot", nil, nil)
+	if err != nil {
+		return false, home
+	}
+	if snap.status != http.StatusOK {
+		rt.opts.Log.Debugf("cluster: ship %s: snapshot from %s returned %d", e.cid, home.url, snap.status)
+		return false, nil
+	}
+	hdr := make(http.Header, 1)
+	hdr.Set("Content-Type", snap.header.Get("Content-Type"))
+
+	rt.shipMu.Lock()
+	defer rt.shipMu.Unlock()
+	_, _ = rt.forward(standby, http.MethodDelete, "/v1/sessions/"+e.cid, nil, nil)
+	put, err := rt.forward(standby, http.MethodPut, "/v1/sessions/"+e.cid+"/snapshot", snap.body, hdr)
+	if err != nil {
+		return false, standby
+	}
+	if put.status != http.StatusCreated {
+		rt.opts.Log.Debugf("cluster: ship %s: restore on %s returned %d: %s", e.cid, standby.url, put.status, put.body)
+		return false, nil
+	}
+	e.mu.Lock()
+	// The placement may have moved while the snapshot was in flight
+	// (a migration cannot — migrateMu — but a failover can). The copy
+	// is still valid: it is the session's state at the GET boundary.
+	e.shipped = true
+	e.mu.Unlock()
+	rt.ships.Add(1)
+	rt.cm.shipsTotal.Inc()
+	return true, nil
+}
+
+// healthLoop drives CheckNow on the configured interval until Close.
+func (rt *Router) healthLoop() {
+	defer rt.loopWG.Done()
+	t := time.NewTicker(rt.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.loopStop:
+			return
+		case <-t.C:
+			rt.CheckNow()
+		}
+	}
+}
+
+// shipLoop drives ShipNow on the configured interval until Close.
+func (rt *Router) shipLoop() {
+	defer rt.loopWG.Done()
+	t := time.NewTicker(rt.opts.ShipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.loopStop:
+			return
+		case <-t.C:
+			rt.ShipNow()
+		}
+	}
+}

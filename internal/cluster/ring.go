@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodes is the virtual-point count per backend on the hash ring. 64
+// points keeps the expected load imbalance across a handful of nodes
+// in the few-percent range while the ring stays tiny (a sorted slice
+// scanned with one binary search per placement).
+const vnodes = 64
+
+// ringPoint is one virtual node: a hash position owned by a backend.
+type ringPoint struct {
+	hash uint64
+	n    *node
+}
+
+// ring is a consistent-hash ring over the serving backends. It is
+// built once at router construction and never mutated; health is
+// consulted at lookup time, so a sick node is skipped without
+// rebuilding (and its keys return to it when it recovers — placement
+// is sticky only through the routing table, never the ring).
+type ring struct {
+	points []ringPoint
+}
+
+func buildRing(nodes []*node) ring {
+	pts := make([]ringPoint, 0, len(nodes)*vnodes)
+	for _, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, ringPoint{hash: fnvHash(fmt.Sprintf("%s#%d", n.url, v)), n: n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].n.url < pts[j].n.url
+	})
+	return ring{points: pts}
+}
+
+// owner maps a key to its backend: the first healthy node at or after
+// the key's hash position, wrapping. Returns nil when every backend is
+// unhealthy.
+func (r ring) owner(key string) *node {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := fnvHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.n.healthy.Load() {
+			return p.n
+		}
+	}
+	return nil
+}
+
+// fnvHash hashes a ring key: FNV-64a for the bytes, then a murmur3
+// finalizer. The finalizer matters — raw FNV barely avalanches on
+// short strings, so consecutive session ids ("c1", "c2", …) land
+// within a few times 2^40 of each other, far closer than the average
+// gap between ring points, and would all fall to one backend.
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3/splitmix 64-bit finalizer: full avalanche, so
+// any single-bit input difference flips about half the output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -139,7 +139,7 @@ func DefaultConfig(root, modulePath string) *Config {
 		DeterministicPkgs: internal("bitmap", "trace", "cache", "machine", "eval",
 			"search", "metrics", "workload", "topology", "online", "cosmos",
 			"report", "experiments", "serve", "fault", "client", "flight",
-			"traffic"),
+			"traffic", "cluster"),
 		DeterminismSkipFiles: []string{"bench.go"},
 		ClockAllowlist: map[string]bool{
 			// The sweep engine times tasks and worker busy-ns for the obs

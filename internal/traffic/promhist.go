@@ -1,9 +1,11 @@
 package traffic
 
-// A minimal reader for the one Prometheus text shape this package
+// A minimal reader for the two Prometheus text shapes this package
 // needs: reconstructing a histogram snapshot from the _bucket/_sum/
-// _count lines obs.WritePrometheus emits, so predload can report
-// server-side latency quantiles when it only has /metrics to go on.
+// _count lines obs.WritePrometheus emits (so predload can report
+// server-side latency quantiles when it only has /metrics to go on),
+// and reading single counter samples (so the cluster capacity mode can
+// attribute events and requests to individual backends).
 
 import (
 	"bufio"
@@ -57,14 +59,39 @@ func parsePromHistogram(text, name string) (obs.HistogramSnapshot, bool) {
 	return h, found
 }
 
-// scrapePromHistogram fetches a /metrics endpoint and parses the named
-// histogram out of it. Best-effort: any failure reports ok=false.
-func scrapePromHistogram(url, name string) (obs.HistogramSnapshot, bool) {
+// parsePromCounter extracts the named counter's single sample from
+// Prometheus text exposition. Returns ok=false when the counter does
+// not appear (a `name_bucket{...}` histogram line does not count: the
+// sample line must be exactly `name value`).
+func parsePromCounter(text, name string) (int64, bool) {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			continue
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// fetchPromText fetches a /metrics endpoint's full text body.
+// Best-effort: any failure reports ok=false.
+func fetchPromText(url string) (string, bool) {
 	resp, err := http.Get(url)
 	if err != nil {
-		return obs.HistogramSnapshot{}, false
+		return "", false
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", false
+	}
 	var sb strings.Builder
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -72,5 +99,15 @@ func scrapePromHistogram(url, name string) (obs.HistogramSnapshot, bool) {
 		sb.WriteString(sc.Text())
 		sb.WriteByte('\n')
 	}
-	return parsePromHistogram(sb.String(), name)
+	return sb.String(), true
+}
+
+// scrapePromHistogram fetches a /metrics endpoint and parses the named
+// histogram out of it. Best-effort: any failure reports ok=false.
+func scrapePromHistogram(url, name string) (obs.HistogramSnapshot, bool) {
+	text, ok := fetchPromText(url)
+	if !ok {
+		return obs.HistogramSnapshot{}, false
+	}
+	return parsePromHistogram(text, name)
 }
