@@ -298,14 +298,19 @@ func (c *Client) nextRequestID() string {
 // attempt; reqID likewise as X-Request-ID — the SAME id on every attempt,
 // by design. A 307/308 with a Location is a routing hop, not a failure:
 // the same request — body, key, request id — is re-issued against the
-// new URL without consuming a retry, bounded by maxRedirects. The
-// response body (for 2xx) is returned whole.
+// new URL without consuming a retry, bounded by maxRedirects. A
+// retryable failure after a hop falls back to the original URL (the
+// redirect bound one attempt, not the request's future), so retries
+// re-resolve through the router instead of camping on a dead target.
+// The response body (for 2xx) is returned whole.
 func (c *Client) do(method, path string, body []byte, contentType, accept, idemKey, reqID string, retry func(error) bool) ([]byte, error) {
-	url := c.opts.BaseURL + path
+	origURL := c.opts.BaseURL + path
+	url := origURL
 	redirects := 0
+	hop := false
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 && !hop {
 			if attempt > c.opts.MaxRetries {
 				return nil, fmt.Errorf("client: %s %s: retries exhausted after %d attempts: %w",
 					method, path, attempt, lastErr)
@@ -319,6 +324,7 @@ func (c *Client) do(method, path string, body []byte, contentType, accept, idemK
 			}
 			c.sleep(c.backoff(attempt - 1))
 		}
+		hop = false
 		c.requests.Add(1)
 		resp, err := c.attempt(method, url, body, contentType, accept, idemKey, reqID)
 		if err == nil {
@@ -331,7 +337,8 @@ func (c *Client) do(method, path string, body []byte, contentType, accept, idemK
 				url = next
 				redirects++
 				c.redirects.Add(1)
-				attempt-- // a hop, not a retry: no backoff, no retry budget
+				hop = true // a hop, not a retry: no backoff, no retry budget
+				attempt--
 				continue
 			}
 			err = fmt.Errorf("client: bad redirect location %q: %w", ae.Location, rerr)
@@ -339,6 +346,16 @@ func (c *Client) do(method, path string, body []byte, contentType, accept, idemK
 		lastErr = err
 		if !retry(err) {
 			return nil, err
+		}
+		if url != origURL {
+			// A 307 binds only the attempt that followed it; a
+			// retryable failure at the hop target (often the very
+			// backend whose death the router is about to notice) must
+			// not pin the remaining retries there. Go back through the
+			// original URL so the next attempt re-resolves — and can
+			// follow a fresh redirect, on a fresh hop budget.
+			url = origURL
+			redirects = 0
 		}
 	}
 }

@@ -112,6 +112,69 @@ func TestRedirectThenRetrySameKey(t *testing.T) {
 	}
 }
 
+// TestRedirectRetryFallsBackToRouter: a 307 binds only the attempt that
+// followed it. When the hop target fails retryably (the backend died
+// right after the router handed it out), the retry must go back through
+// the router — which re-resolves, possibly to a failed-over backend —
+// instead of camping on the dead target until the budget runs out. The
+// idempotency key survives the whole detour.
+func TestRedirectRetryFallsBackToRouter(t *testing.T) {
+	var deadHits, liveHits int
+	var deadKey, liveKey string
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadHits++
+		deadKey = r.Header.Get("Idempotency-Key")
+		io.Copy(io.Discard, r.Body)
+		http.Error(w, `{"error":"dying"}`, http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		liveHits++
+		liveKey = r.Header.Get("Idempotency-Key")
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"predictions":[0]}`)
+	}))
+	defer live.Close()
+
+	// The router hands out the doomed backend first, then — as a real
+	// router does after marking it down — the live one.
+	routerHits := 0
+	router := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		routerHits++
+		io.Copy(io.Discard, r.Body)
+		target := live.URL
+		if routerHits == 1 {
+			target = dead.URL
+		}
+		w.Header().Set("Location", target+r.URL.Path)
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer router.Close()
+
+	cl := client.New(client.Options{BaseURL: router.URL, Seed: 13, MaxRetries: 3, Sleep: func(time.Duration) {}})
+	preds, err := cl.PostEvents("s1", []serve.EventRequest{{PID: 0, PC: 1, Dir: 1, Addr: 64}})
+	if err != nil {
+		t.Fatalf("post across the failover detour: %v", err)
+	}
+	if len(preds) != 1 {
+		t.Fatalf("got %d predictions, want 1", len(preds))
+	}
+	if deadHits != 1 {
+		t.Fatalf("dead backend saw %d attempts, want 1 — retries camped on the hop target", deadHits)
+	}
+	if routerHits != 2 || liveHits != 1 {
+		t.Fatalf("want the retry back through the router (2 router, 1 live hits), got %d/%d", routerHits, liveHits)
+	}
+	if deadKey == "" || deadKey != liveKey {
+		t.Fatalf("the detour changed the idempotency key: %q then %q", deadKey, liveKey)
+	}
+	st := cl.Stats()
+	if st.Retries != 1 || st.Redirects != 2 {
+		t.Fatalf("want 1 retry over 2 hops, got %+v", st)
+	}
+}
+
 // TestRedirectLoopBounded: a router that keeps answering 307 must not
 // spin the client forever — after the hop budget the redirect itself
 // surfaces as the error, Location intact for diagnosis.

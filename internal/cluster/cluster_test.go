@@ -366,6 +366,61 @@ func TestClusterBasics(t *testing.T) {
 	}
 }
 
+// TestCreateSkipsRestoredID: restores register caller-named ids, and a
+// migration or DR restore reuses ids of the exact "cN" form the create
+// counter mints. A later create reaching that N must skip the taken id
+// — not silently clobber the restored session's routing entry.
+func TestCreateSkipsRestoredID(t *testing.T) {
+	tc := startCluster(t, clusterConfig{backends: 1})
+	cl := newTestClient(tc, 5, false)
+	evs := wireEvents(genTrace(t, "em3d", 3).Events)
+
+	sess, err := cl.CreateSession(serve.CreateSessionRequest{Scheme: "last(dir)1", FlushMicros: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PostEvents(sess.ID, evs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.Snapshot(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore under the id the NEXT create would mint ("c1" exists, so
+	// the counter's next product is "c2") — the DR shape after a router
+	// restart reset nextID.
+	if _, err := cl.Restore("c2", snap, 0); err != nil {
+		t.Fatalf("restore as c2: %v", err)
+	}
+
+	sess2, err := cl.CreateSession(serve.CreateSessionRequest{Scheme: "last(dir)1", FlushMicros: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess2.ID == "c2" {
+		t.Fatal("create re-minted the restored session's id c2")
+	}
+	// The restored session kept its routing entry and state (10 events
+	// from the snapshot), and the new session is its own empty one.
+	st, err := cl.SessionStats("c2")
+	if err != nil {
+		t.Fatalf("stats on restored session after create: %v", err)
+	}
+	if st.Events != 10 {
+		t.Fatalf("restored session has %d events, want the snapshot's 10", st.Events)
+	}
+	st2, err := cl.SessionStats(sess2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Events != 0 {
+		t.Fatalf("fresh session has %d events, want 0", st2.Events)
+	}
+	if got := len(tc.status(t).Sessions); got != 3 {
+		t.Fatalf("cluster lists %d sessions, want 3 distinct", got)
+	}
+}
+
 // TestClusterPlacementSpread creates enough sessions that consistent
 // hashing must use more than one backend, and checks the status
 // document's per-backend session counts agree with the routing table.

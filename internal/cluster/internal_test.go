@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -99,6 +100,86 @@ func TestResolveFlipCap(t *testing.T) {
 	var ae *apiError
 	if !errors.As(err, &ae) || ae.status != http.StatusServiceUnavailable {
 		t.Fatalf("resolve under endless flips: want 503, got %v", err)
+	}
+}
+
+// TestShipFailureClearsShippedMark pins the replacement-window contract
+// of shipOne: the standby's old copy is deleted before the new PUT, so
+// a PUT failure leaves the standby holding nothing. The shipped mark
+// must say so — a stale true would steer a later failover onto a
+// standby that 404s, instead of declaring the session lost.
+func TestShipFailureClearsShippedMark(t *testing.T) {
+	backend := httptest.NewServer(serve.NewServer(serve.Options{}).Handler())
+	defer backend.Close()
+
+	// A standby that speaks just enough of the serve API: healthy,
+	// accepts deletes, and fails restore PUTs once armed.
+	var failPut atomic.Bool
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/healthz":
+			w.WriteHeader(http.StatusOK)
+		case r.Method == http.MethodDelete:
+			w.WriteHeader(http.StatusOK)
+		case r.Method == http.MethodPut && failPut.Load():
+			http.Error(w, `{"error":"disk full"}`, http.StatusInsufficientStorage)
+		case r.Method == http.MethodPut:
+			w.WriteHeader(http.StatusCreated)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer standby.Close()
+
+	rt, err := New(Options{Backends: []string{backend.URL}, Standby: standby.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"scheme":"last(dir)1","flush_micros":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d: %s", resp.StatusCode, body)
+	}
+	var info serve.CreateSessionResponse
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	rt.mu.Lock()
+	e := rt.sessions[info.ID]
+	rt.mu.Unlock()
+
+	if n := rt.ShipNow(); n != 1 {
+		t.Fatalf("first ship: %d sessions, want 1", n)
+	}
+	if _, _, _, shipped, _ := e.placement(); !shipped {
+		t.Fatal("successful ship did not set the shipped mark")
+	}
+
+	failPut.Store(true)
+	if n := rt.ShipNow(); n != 0 {
+		t.Fatalf("failing ship reported %d sessions shipped", n)
+	}
+	if _, _, _, shipped, _ := e.placement(); shipped {
+		t.Fatal("shipped mark still true after the delete+failed-PUT window destroyed the standby copy")
+	}
+
+	// The consequence under failover: with no standby copy the session
+	// is declared lost, not routed onto a 404.
+	rt.markDown(rt.backends[0])
+	if _, _, _, _, lost := e.placement(); !lost {
+		t.Fatal("failover after a failed ship did not declare the session lost")
+	}
+	if rt.failovers.Load() != 0 || rt.lostTotal.Load() != 1 {
+		t.Fatalf("want 0 failovers and 1 lost, got %d/%d", rt.failovers.Load(), rt.lostTotal.Load())
 	}
 }
 

@@ -75,6 +75,16 @@ func (rt *Router) Migrate(cid, target string) error {
 		rt.migAborts.Add(1)
 		rt.cm.migrationAborts.Inc()
 		rt.opts.Log.Infof("cluster: migration of %s to %s aborted at %s: %v", cid, tgt.url, step, err)
+		// The rollback re-homes the session on src — but if src was
+		// marked down while the entry was migrating, the failover sweep
+		// skipped it and will not run again (markDown transitions only
+		// once). Re-run the sweep now that the entry is visible again,
+		// so the session reaches the standby copy (or is declared lost)
+		// instead of answering 502 forever. failoverFrom is idempotent
+		// per entry, and migrateMu → shipMu is the documented order.
+		if !src.healthy.Load() {
+			rt.failoverFrom(src)
+		}
 		return codedErr(http.StatusBadGateway, CodeBadGateway,
 			fmt.Errorf("cluster: migrating %s: %s: %w", cid, step, err))
 	}
@@ -170,9 +180,10 @@ func (rt *Router) updateHealthGauge() {
 
 // failoverFrom moves every session homed on the dead node to the
 // standby's last shipped copy, or declares it lost. A session mid-
-// migration is left to the migration's own error handling (its drain
-// or restore against the dead node will fail and roll back; a later
-// request then hits the transport error and re-enters here).
+// migration is skipped here: its migration is about to fail against
+// the dead node, and the abort path re-runs this sweep after the
+// rollback makes the entry visible again (idempotent per entry —
+// already-moved and already-lost sessions fall through the guards).
 func (rt *Router) failoverFrom(dead *node) {
 	// shipMu: wait out any in-flight standby copy replacement, so the
 	// shipped marks consulted below describe complete copies.

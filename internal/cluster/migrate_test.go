@@ -260,6 +260,65 @@ func TestFailoverWithDeadStandby(t *testing.T) {
 	}
 }
 
+// TestFailoverAfterMidMigrationKill: the home dies while its session is
+// mid-migration. The failover sweep that runs when the node is marked
+// down skips the migrating entry — and markDown fires only once — so
+// the abort path must re-run the sweep after the rollback, or the
+// session is stranded: neither failed over to its shipped standby copy
+// nor declared lost, answering 502 forever.
+func TestFailoverAfterMidMigrationKill(t *testing.T) {
+	tc := startCluster(t, clusterConfig{backends: 2, standby: true})
+	cl := newTestClient(tc, 15, false)
+
+	evs := wireEvents(genTrace(t, "em3d", 3).Events)
+	sess, err := cl.CreateSession(serve.CreateSessionRequest{Scheme: "last(dir)1", FlushMicros: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.PostEvents(sess.ID, evs[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if n := tc.router.ShipNow(); n != 1 {
+		t.Fatalf("shipped %d sessions, want 1", n)
+	}
+
+	home := tc.homeOf(t, sess.ID)
+	var target string
+	for _, b := range tc.backends {
+		if b.url != home {
+			target = b.url
+		}
+	}
+	// Kill the HOME without telling the router: the migration passes its
+	// target health gate, marks the entry migrating, and then its
+	// snapshot GET hits the dead node — the exact window the failover
+	// sweep cannot see the session in.
+	tc.backendByURL(t, home).kill()
+	if code, body := tc.migrate(t, sess.ID, target); code != 502 {
+		t.Fatalf("migrate off a dead home: %d: %s", code, body)
+	}
+
+	cs := tc.status(t)
+	if cs.MigrationAborts != 1 || cs.Failovers != 1 || cs.Lost != 0 {
+		t.Fatalf("want 1 abort, 1 failover, 0 lost; got %+v", cs)
+	}
+	if got := tc.homeOf(t, sess.ID); got != tc.standby.url {
+		t.Fatalf("session homed on %s after the abort, want the standby %s", got, tc.standby.url)
+	}
+	// The proof the session is alive, not stranded: it keeps serving
+	// from the shipped copy.
+	if _, err := cl.PostEvents(sess.ID, evs[50:100]); err != nil {
+		t.Fatalf("post after mid-migration failover: %v", err)
+	}
+	st, err := cl.SessionStats(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 100 {
+		t.Fatalf("events %d after failover, want 100 (50 shipped + 50 posted)", st.Events)
+	}
+}
+
 // TestDirectModeRedirect runs the 307 data plane end to end under
 // faults: the router answers event posts with the owning backend's URL,
 // the client re-posts there under the SAME idempotency key, and backend

@@ -120,10 +120,7 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	rt.mu.Lock()
-	rt.nextID++
-	cid := fmt.Sprintf("c%d", rt.nextID)
-	rt.mu.Unlock()
+	cid := rt.mintID()
 	n := rt.ring.owner(cid)
 	if n == nil {
 		return ErrNoBackend
@@ -140,14 +137,42 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) error {
 	if err := json.Unmarshal(pr.body, &info); err != nil {
 		return fmt.Errorf("cluster: backend %s create echo: %w", n.url, err)
 	}
+	rt.mu.Lock()
+	// Re-check at insert: a concurrent restore (handleSnapshotPut) may
+	// have claimed the minted id while the backend create was in
+	// flight. Re-minting moves this session off the id its ring
+	// placement was hashed from — harmless, since routing consults the
+	// table, never the ring, after placement.
+	for {
+		if _, taken := rt.sessions[cid]; !taken {
+			break
+		}
+		rt.nextID++
+		cid = fmt.Sprintf("c%d", rt.nextID)
+	}
 	e := &entry{cid: cid, localID: info.ID, home: n}
 	info.ID = cid
 	e.info = info
-	rt.mu.Lock()
 	rt.sessions[cid] = e
 	rt.mu.Unlock()
 	writeJSON(w, http.StatusCreated, info)
 	return nil
+}
+
+// mintID reserves the next free cluster session id. Restores register
+// caller-named ids (often of the "cN" form — a migration or DR restore
+// reuses the original cluster id), so the counter skips ids the table
+// already holds instead of clobbering them.
+func (rt *Router) mintID() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for {
+		rt.nextID++
+		cid := fmt.Sprintf("c%d", rt.nextID)
+		if _, taken := rt.sessions[cid]; !taken {
+			return cid
+		}
+	}
 }
 
 // handleList reports the cluster-wide session table (the creation

@@ -14,22 +14,27 @@ import (
 // ShipNow ships one snapshot per eligible session to the standby and
 // reports how many shipped. Sessions already homed on the standby
 // (post-failover), lost sessions, and sessions mid-migration are
-// skipped. Ships are serialized with migrations (migrateMu) so a ship
-// can never interleave with a flip on the same session.
+// skipped. Each ship is serialized with migrations (migrateMu) so a
+// ship can never interleave with a flip on the same session — but the
+// lock is taken per session, not across the sweep, so a migration
+// waits out at most one in-flight ship (two ProxyTimeouts) rather
+// than the entire cycle.
 func (rt *Router) ShipNow() int {
 	standby := rt.standby
 	if standby == nil || !standby.healthy.Load() {
 		return 0
 	}
-	rt.migrateMu.Lock()
 	shipped := 0
 	var failed []*node
 	for _, e := range rt.entries() {
+		rt.migrateMu.Lock()
 		n, localID, migrating, _, lost := e.placement()
 		if lost || migrating || n == standby {
+			rt.migrateMu.Unlock()
 			continue
 		}
 		ok, bad := rt.shipOne(e, n, localID, standby)
+		rt.migrateMu.Unlock()
 		if ok {
 			shipped++
 		}
@@ -37,7 +42,6 @@ func (rt *Router) ShipNow() int {
 			failed = append(failed, bad)
 		}
 	}
-	rt.migrateMu.Unlock()
 	// Probe outside the locks: noteBackendFailure may run a failover,
 	// which takes shipMu itself.
 	for _, n := range failed {
@@ -67,6 +71,14 @@ func (rt *Router) shipOne(e *entry, home *node, localID string, standby *node) (
 
 	rt.shipMu.Lock()
 	defer rt.shipMu.Unlock()
+	// The delete destroys the standby's previous copy; until the PUT
+	// lands there is nothing to fail over to, so the shipped mark must
+	// not claim otherwise. If the PUT fails, the mark stays false and a
+	// failover correctly declares the session lost instead of routing
+	// to a standby that would 404.
+	e.mu.Lock()
+	e.shipped = false
+	e.mu.Unlock()
 	_, _ = rt.forward(standby, http.MethodDelete, "/v1/sessions/"+e.cid, nil, nil)
 	put, err := rt.forward(standby, http.MethodPut, "/v1/sessions/"+e.cid+"/snapshot", snap.body, hdr)
 	if err != nil {
